@@ -1,0 +1,68 @@
+"""Extension — what-if: a contended wireless channel.
+
+The paper's Fig. 6a channel was quiet enough that latency stayed flat; the
+optional 802.11 airtime-contention model asks what a *busy* channel does:
+with contention enabled, probe latency grows visibly with concurrent
+flows, while the gateway-mechanism overhead (filtering vs not) stays
+negligible — isolating the medium, not the mechanism, as the bottleneck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.netsim import AirtimeMeter, ContentionModel, FlowLoadGenerator, LatencyProbe, measure_rtt
+from repro.reporting import ascii_plot, build_testbed, render_series
+
+FLOW_COUNTS = (20, 60, 100, 140)
+
+
+def _sweep(contended: bool) -> list[tuple[int, float]]:
+    model = ContentionModel(per_pps_delay=4e-6)
+    points = []
+    for count in FLOW_COUNTS:
+        testbed = build_testbed(filtering=True)
+        meter = AirtimeMeter()
+        load = FlowLoadGenerator(
+            testbed.topology,
+            testbed.simgw,
+            testbed.scheduler,
+            rng=np.random.default_rng(50 + count),
+            airtime=meter if contended else None,
+        )
+        load.start(load.make_flows(count), duration=30.0)
+        probe = LatencyProbe(
+            testbed.topology,
+            testbed.simgw,
+            rng=np.random.default_rng(8),
+            airtime=meter if contended else None,
+            contention=model if contended else None,
+        )
+        mean, _ = measure_rtt(probe, "D1", "D2", iterations=10)
+        points.append((count, mean))
+    return points
+
+
+def test_ext_wireless_contention(benchmark):
+    def run():
+        return {
+            "Contended channel": _sweep(contended=True),
+            "Quiet channel (paper's testbed)": _sweep(contended=False),
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ext_contention.txt",
+        render_series(series, unit="ms")
+        + "\n\n"
+        + ascii_plot(series, y_label="D1-D2 RTT (ms)", x_label="concurrent flows", y_min=0.0),
+    )
+
+    quiet = dict(series["Quiet channel (paper's testbed)"])
+    busy = dict(series["Contended channel"])
+    # Quiet channel: flat (the Fig. 6a result).
+    assert max(quiet.values()) < min(quiet.values()) * 1.4
+    # Contended channel: latency visibly grows with offered load.
+    assert busy[140] > busy[20] + 3.0
+    assert busy[140] > quiet[140] + 3.0

@@ -1,0 +1,56 @@
+"""Extension — identification robustness under capture loss.
+
+The gateway's monitoring tap can miss frames (wireless loss, capture
+buffer pressure).  IoT Sentinel's fingerprints are *sequences*, so missing
+packets perturb both F' (shifted slots) and the edit-distance comparison.
+This sweep drops a uniform fraction of each setup capture's packets before
+extraction and measures how identification accuracy degrades — bounding
+how clean the tap must be for the paper's numbers to hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.core import DeviceIdentifier, fingerprint_from_records
+from repro.devices import DEVICE_PROFILES, simulate_setup_capture
+from repro.reporting import render_series
+
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20, 0.40)
+PROBES_PER_TYPE = 4
+
+
+def _lossy_fingerprint(records, mac, loss: float, rng: np.random.Generator):
+    if loss > 0:
+        kept = [r for r in records if rng.random() >= loss]
+        records = kept if kept else records[:1]
+    return fingerprint_from_records(records, mac)
+
+
+def test_ext_packet_loss_robustness(corpus, trained_identifier, benchmark):
+    def run():
+        rng = np.random.default_rng(61)
+        points = []
+        for loss in LOSS_RATES:
+            correct = total = 0
+            for profile in DEVICE_PROFILES:
+                for _ in range(PROBES_PER_TYPE):
+                    mac, records = simulate_setup_capture(profile, rng)
+                    fingerprint = _lossy_fingerprint(records, mac, loss, rng)
+                    outcome = trained_identifier.identify(fingerprint)
+                    correct += outcome.label == profile.identifier
+                    total += 1
+            points.append((int(loss * 100), correct / total))
+        return {"Global accuracy": points}
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ext_packetloss.txt", render_series(series))
+
+    accuracy = dict(series["Global accuracy"])
+    # Clean tap reproduces the headline number...
+    assert accuracy[0] >= 0.75
+    # ...light loss is tolerable...
+    assert accuracy[5] >= accuracy[0] - 0.15
+    # ...heavy loss degrades measurably (the tap quality matters).
+    assert accuracy[40] <= accuracy[0]

@@ -1,0 +1,101 @@
+"""Extension — classifier-bank scalability (Sect. VI-B's closing claim).
+
+"The classification with Random Forest takes very little time and grows
+linearly with the number of types to identify.  This shows that IoT
+Sentinel can easily scale to thousands of device-types..."
+
+This bench grows a synthetic type population to 1000, trains one
+classifier per type (using the incremental ``add_type`` path — no global
+relearning), and measures how the stage-1 classification pass scales.
+Absolute times differ from the paper's (pure-Python forests vs C), so the
+assertion targets the *linear growth* and a generous sub-second bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import write_result
+
+from repro.core import DeviceIdentifier, DeviceTypeRegistry, Fingerprint, NUM_FEATURES
+from repro.reporting import render_series
+
+TYPE_COUNTS = (27, 100, 300, 1000)
+FINGERPRINTS_PER_TYPE = 8
+
+
+def _synthetic_fingerprint(rng: np.random.Generator, signature: np.ndarray) -> Fingerprint:
+    """A fingerprint drawn from one synthetic type's distribution."""
+    length = int(rng.integers(6, 14))
+    vectors = []
+    for i in range(length):
+        v = np.zeros(NUM_FEATURES)
+        # Per-type protocol mix: three binary features from the signature.
+        for bit in signature[:3]:
+            if rng.random() < 0.9:
+                v[int(bit)] = 1.0
+        v[18] = float(signature[3] + rng.integers(-10, 11) + 3 * i)  # sizes
+        v[20] = float((i % int(signature[4])) + 1)  # endpoint pattern
+        v[21] = float(signature[5] % 4)
+        v[22] = float(signature[6] % 4)
+        vectors.append(v)
+    return Fingerprint.from_vectors(vectors)
+
+
+def _build_registry(n_types: int, rng: np.random.Generator) -> DeviceTypeRegistry:
+    registry = DeviceTypeRegistry()
+    for t in range(n_types):
+        signature = np.array(
+            [
+                rng.integers(0, 16),
+                rng.integers(0, 16),
+                rng.integers(0, 18),
+                rng.integers(60, 400),
+                rng.integers(2, 5),
+                rng.integers(0, 4),
+                rng.integers(0, 4),
+            ]
+        )
+        registry.add_many(
+            f"type{t:04d}",
+            [_synthetic_fingerprint(rng, signature) for _ in range(FINGERPRINTS_PER_TYPE)],
+        )
+    return registry
+
+
+def test_ext_classifier_bank_scalability(benchmark):
+    def run():
+        rng = np.random.default_rng(3)
+        registry = _build_registry(max(TYPE_COUNTS), rng)
+        probe = registry.fingerprints("type0000")[0]
+        points = []
+        identifier = DeviceIdentifier(random_state=1)
+        enrolled = 0
+        for target in TYPE_COUNTS:
+            # Incremental enrollment up to the target population.
+            for t in range(enrolled, target):
+                identifier.add_type(registry, f"type{t:04d}")
+            enrolled = target
+            start = time.perf_counter()
+            repeats = 5
+            for _ in range(repeats):
+                identifier.classify(probe)
+            elapsed = (time.perf_counter() - start) / repeats
+            points.append((target, elapsed * 1e3))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ext_scalability.txt",
+        render_series({"Stage-1 classification (all types)": points}, unit="ms"),
+    )
+
+    counts = np.array([c for c, _ in points], dtype=float)
+    times = np.array([t for _, t in points])
+    # Linear growth: per-type marginal cost is stable within 2x between
+    # the smallest and largest population.
+    per_type = times / counts
+    assert per_type.max() < per_type.min() * 2.0, points
+    # And the full 1000-type pass stays interactive.
+    assert times[-1] < 1000.0, points

@@ -1,0 +1,54 @@
+"""Fig. 5 — ratio of correct identification for the 27 device types.
+
+Regenerates the per-type accuracy bar chart from repeated stratified
+10-fold cross-validation (Sect. VI-B) and benchmarks the per-fingerprint
+identification operation that dominates the online path.
+
+Expected shape (paper): ≥17 types at accuracy ≥0.95, the ten same-vendor
+sibling types around 0.5, global accuracy ≈ 0.815.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.devices import CONFUSION_GROUPS, DEVICE_PROFILES
+from repro.reporting import render_accuracy_bars
+
+#: The paper's Fig. 5 x-axis order (left to right).
+FIG5_ORDER = [
+    "Aria", "HomeMaticPlug", "Withings", "MAXGateway", "HueBridge",
+    "HueSwitch", "EdnetGateway", "EdnetCam", "EdimaxCam", "Lightify",
+    "WeMoInsightSwitch", "WeMoLink", "WeMoSwitch", "D-LinkHomeHub",
+    "D-LinkDoorSensor", "D-LinkDayCam", "D-LinkCam", "D-LinkSwitch",
+    "D-LinkWaterSensor", "D-LinkSiren", "D-LinkSensor",
+    "TP-LinkPlugHS110", "TP-LinkPlugHS100", "EdimaxPlug1101W",
+    "EdimaxPlug2101W", "SmarterCoffee", "iKettle2",
+]
+
+
+def test_fig5_identification_accuracy(cv_result, corpus, trained_identifier, benchmark):
+    per_class = cv_result.per_class()
+    ordered = {name: per_class[name] for name in FIG5_ORDER}
+
+    # Benchmark the per-fingerprint identification operation.
+    probe = corpus.fingerprints("Aria")[0]
+    benchmark(trained_identifier.identify, probe)
+
+    chart = render_accuracy_bars(ordered)
+    summary = (
+        f"\nGlobal ratio of correct identification: {cv_result.global_accuracy:.3f}"
+        f"  (paper: 0.815)\n"
+        f"Fingerprints needing discrimination: {cv_result.multi_match_fraction:.0%}"
+        f"  (paper: 55%)"
+    )
+    write_result("fig5_accuracy.txt", chart + summary)
+
+    # Reproduction assertions: the paper's shape must hold.
+    siblings = {m for group in CONFUSION_GROUPS.values() for m in group}
+    distinct = [p.identifier for p in DEVICE_PROFILES if p.identifier not in siblings]
+    high = sum(per_class[name] >= 0.95 for name in distinct)
+    assert high >= 14, f"only {high}/17 distinct types at >=0.95"
+    sibling_mean = sum(per_class[name] for name in siblings) / len(siblings)
+    assert 0.3 <= sibling_mean <= 0.75, f"sibling mean accuracy {sibling_mean:.2f}"
+    assert 0.75 <= cv_result.global_accuracy <= 0.92

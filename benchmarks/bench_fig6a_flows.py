@@ -1,0 +1,41 @@
+"""Fig. 6a — probe latency vs number of concurrent flows.
+
+Expected shape (paper): latency essentially flat up to 150 concurrent
+flows, with and without filtering ("the increase in latency for up to 150
+concurrent flows is insignificant").
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.reporting import ascii_plot, render_series, run_flow_sweep
+
+FLOW_COUNTS = (20, 40, 60, 80, 100, 120, 140)
+
+
+def test_fig6a_latency_vs_flows(benchmark):
+    series = benchmark.pedantic(
+        run_flow_sweep,
+        kwargs={"flow_counts": FLOW_COUNTS, "duration": 30.0, "iterations": 15, "seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "fig6a_latency_vs_flows.txt",
+        render_series(series, unit="ms")
+        + "\n\n"
+        + ascii_plot(series, y_label="Latency (ms)", x_label="concurrent flows", y_min=0.0),
+    )
+
+    for key, points in series.items():
+        values = [v for _, v in points]
+        # Flat-ish: the heaviest load point is within 40% of the lightest.
+        assert max(values) < min(values) * 1.4, key
+        assert 20.0 < values[0] < 33.0
+    # Filtering and no-filtering curves track each other closely.
+    for pair in ("D1-D2", "D1-D3"):
+        with_f = dict(series[f"{pair} (w Filtering)"])
+        without = dict(series[f"{pair} (wo Filtering)"])
+        for count in FLOW_COUNTS:
+            assert abs(with_f[count] - without[count]) / without[count] < 0.15

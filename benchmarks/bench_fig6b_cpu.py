@@ -1,0 +1,42 @@
+"""Fig. 6b — Security Gateway CPU utilization vs concurrent flows.
+
+Expected shape (paper): ~37% idle baseline growing mildly to ~48% at 140
+flows, with the filtering curve sitting a fraction of a percent above the
+no-filtering curve.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.reporting import ascii_plot, render_series, run_cpu_sweep
+
+FLOW_COUNTS = (0, 20, 40, 60, 80, 100, 120, 140)
+
+
+def test_fig6b_cpu_vs_flows(benchmark):
+    series = benchmark.pedantic(
+        run_cpu_sweep,
+        kwargs={"flow_counts": FLOW_COUNTS, "duration": 30.0, "seed": 6},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "fig6b_cpu_vs_flows.txt",
+        render_series(series, unit="%")
+        + "\n\n"
+        + ascii_plot(series, y_label="CPU utilization (%)", x_label="concurrent flows",
+                     y_min=30.0, y_max=55.0),
+    )
+
+    for key, points in series.items():
+        values = dict(points)
+        assert 36.0 <= values[0] <= 38.0, key  # idle baseline ~37%
+        assert values[140] > values[0]  # grows with load
+        assert values[140] < 55.0  # but stays in the paper's band
+
+    with_f = dict(series["With Filtering"])
+    without = dict(series["Without Filtering"])
+    for count in FLOW_COUNTS:
+        delta = with_f[count] - without[count]
+        assert -0.5 <= delta <= 2.5  # paper: +0.63% (±1.8) overall

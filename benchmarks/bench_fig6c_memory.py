@@ -1,0 +1,40 @@
+"""Fig. 6c — Security Gateway memory vs number of enforcement rules.
+
+Expected shape (paper): memory essentially flat (tens of MB) from 0 to
+20 000 enforcement rules; the filtering gateway sits slightly above the
+no-filtering baseline and grows linearly with a very small slope.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.reporting import ascii_plot, render_series, run_memory_sweep
+
+RULE_COUNTS = (0, 2500, 5000, 10000, 15000, 20000)
+
+
+def test_fig6c_memory_vs_rules(benchmark):
+    series = benchmark.pedantic(
+        run_memory_sweep, kwargs={"rule_counts": RULE_COUNTS}, rounds=1, iterations=1
+    )
+    write_result(
+        "fig6c_memory_vs_rules.txt",
+        render_series(series, unit="MB")
+        + "\n\n"
+        + ascii_plot(series, y_label="Memory (MB)", x_label="enforcement rules",
+                     y_min=0.0, y_max=100.0),
+    )
+
+    filtering = dict(series["With Filtering"])
+    baseline = dict(series["Without Filtering"])
+    # Baseline does not depend on rule count at all.
+    assert len({v for v in baseline.values()}) == 1
+    # Filtering memory grows linearly with a small slope.
+    growth = filtering[20000] - filtering[0]
+    assert 0.5 < growth < 10.0  # a few MB across 20k rules
+    half_growth = filtering[10000] - filtering[0]
+    assert abs(half_growth - growth / 2) < 0.2
+    # Both curves stay in the paper's 0-100 MB axis range.
+    assert all(30.0 < v < 100.0 for v in filtering.values())
+    assert all(30.0 < v < 100.0 for v in baseline.values())

@@ -1,0 +1,55 @@
+"""Table V — RTT between devices/servers, with vs without filtering.
+
+Expected shape (paper): client↔client ≈ 25-28 ms, client↔local server ≈
+15-18 ms, client↔remote ≈ 20 ms, and filtering changing latency by only a
+few percent (within measurement noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.reporting import render_table, run_latency_matrix
+
+
+@pytest.fixture(scope="module")
+def latency_cells():
+    return run_latency_matrix(iterations=15, seed=5)
+
+
+def test_table5_latency_matrix(latency_cells, benchmark):
+    # Benchmark one full RTT probe through the filtering gateway.
+    import numpy as np
+
+    from repro.reporting import build_testbed
+
+    testbed = build_testbed(filtering=True)
+    probe = testbed.probe(np.random.default_rng(0))
+    benchmark(probe.rtt, "D1", "D4")
+
+    rows = [
+        [
+            cell.src,
+            cell.dst,
+            f"{cell.filtering_mean:.1f} (±{cell.filtering_std:.1f})",
+            f"{cell.baseline_mean:.1f} (±{cell.baseline_std:.1f})",
+            f"{cell.overhead_percent:+.2f}%",
+        ]
+        for cell in latency_cells
+    ]
+    table = render_table(
+        ["Source", "Destination", "Filtering (ms)", "No Filtering (ms)", "Overhead"],
+        rows,
+    )
+    write_result("table5_latency.txt", table)
+
+    by_pair = {(c.src, c.dst): c for c in latency_cells}
+    # Band checks against the paper's magnitudes.
+    for src in ("D1", "D2", "D3"):
+        assert 20.0 < by_pair[(src, "D4")].filtering_mean < 33.0
+        assert 13.0 < by_pair[(src, "Slocal")].filtering_mean < 21.0
+        assert 17.0 < by_pair[(src, "Sremote")].filtering_mean < 26.0
+    # Filtering overhead stays within noise (paper: +0.7% to +5.8%).
+    for cell in latency_cells:
+        assert abs(cell.overhead_percent) < 8.0

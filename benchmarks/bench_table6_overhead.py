@@ -1,0 +1,57 @@
+"""Table VI — overall overhead of the filtering mechanism.
+
+Latency overhead for two device pairs, plus CPU-utilization and memory
+deltas between the filtering and no-filtering gateway under identical
+load.  Expected shape (paper): every overhead in the low single digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.netsim import FlowLoadGenerator, MemoryModel
+from repro.reporting import build_testbed, render_table, run_latency_matrix
+
+
+def _cpu_and_memory(filtering: bool, flows: int = 100, duration: float = 30.0):
+    testbed = build_testbed(filtering=filtering)
+    load = FlowLoadGenerator(
+        testbed.topology, testbed.simgw, testbed.scheduler, rng=np.random.default_rng(9)
+    )
+    load.start(load.make_flows(flows), duration=duration)
+    testbed.scheduler.run_until(duration)
+    cpu = testbed.simgw.utilization(duration)
+    memory = MemoryModel().memory_mb(testbed.gateway)
+    return cpu, memory
+
+
+def test_table6_filtering_overhead(benchmark):
+    cells = run_latency_matrix(
+        iterations=15, seed=11, pairs=(("D1", "D2"), ("D1", "D3"))
+    )
+
+    def loaded_cpu():
+        return _cpu_and_memory(filtering=True)
+
+    cpu_filtering, mem_filtering = benchmark(loaded_cpu)
+    cpu_baseline, mem_baseline = _cpu_and_memory(filtering=False)
+
+    cpu_overhead = 100.0 * (cpu_filtering - cpu_baseline) / cpu_baseline
+    mem_overhead = 100.0 * (mem_filtering - mem_baseline) / mem_baseline
+
+    rows = [
+        ["D1D2 Latency", f"{cells[0].overhead_percent:+.2f}%"],
+        ["D1D3 Latency", f"{cells[1].overhead_percent:+.2f}%"],
+        ["CPU utilization", f"{cpu_overhead:+.2f}%"],
+        ["Memory usage", f"{mem_overhead:+.2f}%"],
+    ]
+    write_result(
+        "table6_overhead.txt", render_table(["Case", "Overhead (filtering vs none)"], rows)
+    )
+
+    # Paper: latency +5.84%/+0.71%, CPU +0.63%, memory +7.6% — all small.
+    assert abs(cells[0].overhead_percent) < 8.0
+    assert abs(cells[1].overhead_percent) < 8.0
+    assert -1.0 <= cpu_overhead < 5.0
+    assert 0.0 <= mem_overhead < 15.0

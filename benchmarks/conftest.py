@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artifacts (the 540-fingerprint corpus, the repeated cross-validation
+run, the trained identifier) are built once per session and shared across
+benchmark files.
+
+Environment knobs:
+
+* ``REPRO_CV_REPS`` — repetitions of the 10-fold cross-validation
+  (default 1 for a quick run; the paper uses 10, which takes ~10× longer
+  and gives Table III its 200-per-row counts).
+* ``REPRO_RUNS_PER_DEVICE`` — setup runs per device type (paper: 20).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import DeviceIdentifier
+from repro.devices import collect_dataset
+from repro.reporting import crossvalidate_identification
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CV_REPS = int(os.environ.get("REPRO_CV_REPS", "1"))
+RUNS_PER_DEVICE = int(os.environ.get("REPRO_RUNS_PER_DEVICE", "20"))
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a regenerated table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(content + "\n")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The evaluation corpus: 27 device types × RUNS_PER_DEVICE setups."""
+    return collect_dataset(runs_per_device=RUNS_PER_DEVICE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def cv_result(corpus):
+    """The repeated stratified 10-fold CV of Sect. VI-B (Fig. 5/Table III)."""
+    return crossvalidate_identification(
+        corpus, n_splits=10, repetitions=CV_REPS, seed=17
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_identifier(corpus):
+    return DeviceIdentifier(random_state=23).fit(corpus)

@@ -1,0 +1,89 @@
+"""Quantified attack containment across isolation levels.
+
+Replays the Sect. II adversary's playbook — data exfiltration, lateral
+port scanning, C2 beaconing — against devices held at each isolation
+level, and prints the containment matrix.  This is the enforcement layer's
+security argument in one table: strict/restricted confinement kills the
+attacks that a flat network (every device trusted) would let through.
+
+Run:  python examples/attack_containment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import C2Beacon, DataExfiltration, LateralPortScan, run_attack
+from repro.gateway import SecurityGateway
+from repro.sdn import IsolationLevel
+from repro.securityservice import DirectTransport, IsolationDirective
+
+
+class _StaticService:
+    """The IoTSSP is irrelevant here: devices are pre-authorized."""
+
+    def handle_report(self, report):
+        return IsolationDirective(device_type="n/a", level=IsolationLevel.STRICT)
+
+
+COMPROMISED = "aa:00:00:00:00:01"
+VICTIM = "aa:00:00:00:00:02"
+COMPROMISED_IP = "192.168.1.20"
+VICTIM_IP = "192.168.1.21"
+VENDOR_CLOUD = "52.30.0.1"
+
+
+def build_gateway(level: IsolationLevel) -> SecurityGateway:
+    gateway = SecurityGateway(DirectTransport(_StaticService()))
+    gateway.attach_device(COMPROMISED)
+    gateway.attach_device(VICTIM)
+    endpoints = {VENDOR_CLOUD} if level is IsolationLevel.RESTRICTED else frozenset()
+    gateway.preauthorize(COMPROMISED, level, permitted_endpoints=endpoints)
+    gateway.preauthorize(VICTIM, IsolationLevel.TRUSTED)
+    return gateway
+
+
+def scenarios(gateway: SecurityGateway):
+    return (
+        DataExfiltration(
+            device_mac=COMPROMISED, device_ip=COMPROMISED_IP, gateway_mac=gateway.gateway_mac
+        ),
+        LateralPortScan(
+            device_mac=COMPROMISED,
+            device_ip=COMPROMISED_IP,
+            target_mac=VICTIM,
+            target_ip=VICTIM_IP,
+        ),
+        C2Beacon(
+            device_mac=COMPROMISED, device_ip=COMPROMISED_IP, gateway_mac=gateway.gateway_mac
+        ),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    header = f"{'Isolation level':<14}"
+    results: dict[str, dict[str, float]] = {}
+    for level in (IsolationLevel.STRICT, IsolationLevel.RESTRICTED, IsolationLevel.TRUSTED):
+        gateway = build_gateway(level)
+        for scenario in scenarios(gateway):
+            report = run_attack(gateway, scenario, rng=rng)
+            results.setdefault(level.value, {})[scenario.name] = report.containment_rate
+
+    names = ["data-exfiltration", "lateral-port-scan", "c2-beacon"]
+    print("Containment rate (fraction of attack frames dropped)\n")
+    print(f"{'level':<12}" + "".join(f"{n:>20}" for n in names))
+    for level, per_attack in results.items():
+        print(f"{level:<12}" + "".join(f"{per_attack[n]:>19.0%} " for n in names))
+
+    print(
+        "\nReading: a compromised device at 'trusted' level (a flat network,\n"
+        "the no-IoT-Sentinel baseline) attacks freely; 'restricted' confines\n"
+        "it to its vendor cloud; 'strict' cuts off everything. The victim\n"
+        "device in the trusted overlay is unreachable from both confined\n"
+        "levels (overlay isolation, Fig. 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

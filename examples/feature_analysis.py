@@ -1,0 +1,49 @@
+"""Introspecting the classifier bank: what do the fingerprints key on?
+
+Trains the identifier and reports, per device type, (a) descriptive
+fingerprint statistics and (b) the Gini importance of the 23 Table-I
+features in that type's Random Forest, folded across the 12 packet slots
+of F'.  Confirms the paper's design story: behavioural structure (packet
+sizes, endpoint counts, port classes, protocol mix) carries the signal —
+never payload content, which the features cannot even see.
+
+Run:  python examples/feature_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DeviceIdentifier,
+    classifier_feature_importance,
+    fingerprint_summary,
+)
+from repro.devices import DEVICE_PROFILES, collect_dataset
+
+SHOWCASE = ("Aria", "HueBridge", "TP-LinkPlugHS110", "HomeMaticPlug")
+
+
+def main() -> None:
+    print("Building corpus and training the classifier bank ...")
+    corpus = collect_dataset(DEVICE_PROFILES, runs_per_device=12, seed=21)
+    identifier = DeviceIdentifier(random_state=4).fit(corpus)
+
+    for name in SHOWCASE:
+        summary = fingerprint_summary(corpus, name)
+        report = classifier_feature_importance(identifier, name)
+        print(f"\n=== {name} ===")
+        print(
+            f"fingerprints: {summary['fingerprints']}  "
+            f"length: {summary['length_min']}-{summary['length_max']} "
+            f"(mean {summary['length_mean']:.1f})  "
+            f"mean packet size: {summary['packet_size_mean']:.0f} B  "
+            f"distinct endpoints: {summary['distinct_destinations_mean']:.1f}"
+        )
+        active = {k: v for k, v in summary["protocol_rates"].items() if v > 0}
+        print("protocol mix: " + ", ".join(f"{k}={v:.2f}" for k, v in sorted(active.items())))
+        print("top classifier features:")
+        for feature, importance in report.top(5):
+            print(f"  {feature:<24} {importance:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Regenerate the paper's evaluation in one run.
+
+A non-pytest entry point to every experiment: builds the corpus, runs the
+identification evaluation (Fig. 5 / Table III / Table IV) and the
+enforcement experiments (Table V / VI, Fig. 6a-c), and prints each
+artifact.  `--quick` (default) uses 1 CV repetition and short sweeps;
+`--full` matches the paper's protocol (10 repetitions — takes a while).
+
+Run:  python examples/reproduce_paper.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core import DeviceIdentifier
+from repro.devices import collect_dataset
+from repro.reporting import (
+    crossvalidate_identification,
+    measure_identification_timing,
+    render_accuracy_bars,
+    render_confusion,
+    render_series,
+    render_table,
+    run_cpu_sweep,
+    run_flow_sweep,
+    run_latency_matrix,
+    run_memory_sweep,
+)
+
+TABLE3_DEVICES = [
+    "D-LinkSwitch", "D-LinkWaterSensor", "D-LinkSiren", "D-LinkSensor",
+    "TP-LinkPlugHS110", "TP-LinkPlugHS100", "EdimaxPlug1101W",
+    "EdimaxPlug2101W", "SmarterCoffee", "iKettle2",
+]
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale protocol (10 CV repetitions)")
+    args = parser.parse_args()
+    repetitions = 10 if args.full else 1
+
+    start = time.perf_counter()
+    print("Building the 27-type / 20-run corpus ...")
+    corpus = collect_dataset(runs_per_device=20, seed=7)
+
+    banner("Fig. 5 — ratio of correct identification")
+    cv = crossvalidate_identification(corpus, n_splits=10, repetitions=repetitions, seed=17)
+    print(render_accuracy_bars(dict(sorted(cv.per_class().items()))))
+    print(f"\nglobal accuracy {cv.global_accuracy:.3f}  (paper: 0.815)")
+    print(f"discrimination needed for {cv.multi_match_fraction:.0%} of fingerprints (paper: 55%)")
+
+    banner("Table III — confusion matrix of the 10 hard devices")
+    matrix = cv.confusion(TABLE3_DEVICES)[:, : len(TABLE3_DEVICES)]
+    print(render_confusion(matrix, TABLE3_DEVICES))
+
+    banner("Table IV — identification timing")
+    identifier = DeviceIdentifier(random_state=23).fit(corpus)
+    rows = measure_identification_timing(corpus, identifier, trials=30, seed=3)
+    print(render_table(
+        ["Step", "Mean (ms)", "StDev (ms)"],
+        [[r.step, f"{r.mean_ms:.3f}", f"{r.std_ms:.3f}"] for r in rows],
+    ))
+
+    banner("Table V — latency, filtering vs none")
+    cells = run_latency_matrix(iterations=15, seed=5)
+    print(render_table(
+        ["Source", "Destination", "Filtering (ms)", "No filtering (ms)", "Overhead"],
+        [[c.src, c.dst, f"{c.filtering_mean:.1f} (±{c.filtering_std:.1f})",
+          f"{c.baseline_mean:.1f} (±{c.baseline_std:.1f})",
+          f"{c.overhead_percent:+.2f}%"] for c in cells],
+    ))
+
+    banner("Fig. 6a — latency vs concurrent flows")
+    print(render_series(run_flow_sweep(duration=20.0, iterations=10, seed=4), unit="ms"))
+
+    banner("Fig. 6b — CPU utilization vs concurrent flows")
+    print(render_series(run_cpu_sweep(duration=20.0, seed=6), unit="%"))
+
+    banner("Fig. 6c — memory vs enforcement rules")
+    print(render_series(run_memory_sweep(), unit="MB"))
+
+    print(f"\nDone in {time.perf_counter() - start:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Smart-home scenario: onboarding, isolation, and attack containment.
+
+The motivating scenario of the paper's introduction: a home network
+accumulates IoT devices of very different security quality.  IoT Sentinel
+identifies each newcomer from its setup traffic, places it in the right
+overlay, and the SDN gateway then contains what a compromised device can
+do — exfiltration and lateral movement both die at the data plane.
+
+Run:  python examples/smart_home_onboarding.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices import DEVICE_PROFILES, collect_dataset, profile_by_name, simulate_setup_capture
+from repro.gateway import SecurityGateway
+from repro.packets import builder
+from repro.securityservice import DirectTransport, IoTSecurityService
+
+
+def onboard(gateway: SecurityGateway, name: str, rng) -> str:
+    """Attach a device, replay its setup, close profiling; returns MAC."""
+    mac, records = simulate_setup_capture(profile_by_name(name), rng)
+    gateway.attach_device(mac)
+    for record in records:
+        gateway.process_frame(mac, record.data, record.timestamp)
+    gateway.finish_profiling(mac)
+    return mac
+
+
+def main() -> None:
+    print("Training the IoT Security Service ...")
+    corpus = collect_dataset(DEVICE_PROFILES, runs_per_device=10, seed=11)
+    service = IoTSecurityService(random_state=3)
+    service.train(corpus)
+
+    notifications = []
+    gateway = SecurityGateway(DirectTransport(service), notify_user=notifications.append)
+    rng = np.random.default_rng(99)
+
+    print("\n--- Devices joining the home network ---")
+    household = ["HueBridge", "Aria", "D-LinkCam", "iKettle2", "TP-LinkPlugHS110"]
+    macs = {}
+    for name in household:
+        mac = macs[name] = onboard(gateway, name, rng)
+        directive = gateway.directive_for(mac)
+        print(f"{name:<18} {mac}  ->  identified {directive.device_type:<18} "
+              f"level={directive.level.value:<10} overlay={directive.level.overlay}")
+
+    print(f"\nEnforcement rules cached: {len(gateway.rule_cache)}")
+    print(f"Trusted overlay : {gateway.overlays.members('trusted')}")
+    print(f"Untrusted overlay: {gateway.overlays.members('untrusted')}")
+
+    print("\n--- Attack 1: the kettle (restricted) tries to exfiltrate ---")
+    kettle = macs["iKettle2"]
+    exfil = builder.https_client_hello_frame(
+        kettle, gateway.gateway_mac, "192.168.1.20", "52.250.1.1", "dropzone.example"
+    )
+    outcome = gateway.process_frame(kettle, exfil, 900.0)
+    print(f"HTTPS to dropzone.example: {'DROPPED' if outcome.dropped else 'forwarded'}")
+
+    print("\n--- Attack 2: the kettle attacks the (trusted) Hue bridge ---")
+    hue = macs["HueBridge"]
+    attack = builder.tcp_raw_frame(
+        kettle, hue, "192.168.1.20", "192.168.1.21", 50000, 80, b"\x90" * 64
+    )
+    outcome = gateway.process_frame(kettle, attack, 901.0)
+    print(f"TCP to Hue bridge: {'DROPPED' if outcome.dropped else 'forwarded'}")
+
+    print("\n--- Normal operation is unimpeded ---")
+    scale = macs["Aria"]
+    upload = builder.https_client_hello_frame(
+        scale, gateway.gateway_mac, "192.168.1.22", "52.16.0.1", "www.fitbit.com"
+    )
+    outcome = gateway.process_frame(scale, upload, 902.0)
+    print(f"Aria -> fitbit cloud: {'DROPPED' if outcome.dropped else 'forwarded'}")
+
+    if notifications:
+        print("\n--- User notifications ---")
+        for note in notifications:
+            print(f"[{note.device_mac}] {note.message}")
+
+
+if __name__ == "__main__":
+    main()

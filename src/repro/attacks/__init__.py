@@ -1,0 +1,27 @@
+"""Adversary simulation (the Sect. II threat model, made executable).
+
+Generates the attack traffic an adversary would emit from or towards a
+compromised IoT device — data exfiltration, lateral movement, C2
+beaconing, NAT-hole-punched inbound access — and replays it against a
+:class:`~repro.gateway.gateway.SecurityGateway` to measure containment.
+"""
+
+from .scenarios import (
+    AttackReport,
+    AttackScenario,
+    C2Beacon,
+    DataExfiltration,
+    InboundRemoteAccess,
+    LateralPortScan,
+    run_attack,
+)
+
+__all__ = [
+    "AttackReport",
+    "AttackScenario",
+    "C2Beacon",
+    "DataExfiltration",
+    "InboundRemoteAccess",
+    "LateralPortScan",
+    "run_attack",
+]

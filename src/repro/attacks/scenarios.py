@@ -1,0 +1,196 @@
+"""Attack scenario generators and the containment harness.
+
+Each scenario yields raw Ethernet frames exactly as a compromised device
+(or a remote attacker) would emit them; :func:`run_attack` pushes them
+through the gateway's real data plane and reports what got through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.gateway.gateway import SecurityGateway
+from repro.packets import builder
+
+__all__ = [
+    "AttackScenario",
+    "DataExfiltration",
+    "LateralPortScan",
+    "C2Beacon",
+    "InboundRemoteAccess",
+    "AttackReport",
+    "run_attack",
+]
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """Base class: a named generator of attack frames.
+
+    ``from_wan`` marks frames that arrive on the Internet uplink instead
+    of a device port (inbound attacks).
+    """
+
+    name: str = field(default="attack", init=False)
+    from_wan: bool = False
+
+    def frames(self, rng: np.random.Generator) -> Iterator[bytes]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DataExfiltration(AttackScenario):
+    """Goal (a): ship data/credentials to an attacker-controlled host."""
+
+    device_mac: str = ""
+    device_ip: str = ""
+    gateway_mac: str = ""
+    drop_host_ip: str = "52.250.99.1"
+    bursts: int = 10
+
+    name = "data-exfiltration"
+
+    def frames(self, rng: np.random.Generator) -> Iterator[bytes]:
+        for i in range(self.bursts):
+            yield builder.https_client_hello_frame(
+                self.device_mac,
+                self.gateway_mac,
+                self.device_ip,
+                self.drop_host_ip,
+                "cdn-telemetry.example",
+                src_port=49900 + i,
+            )
+            yield builder.tcp_raw_frame(
+                self.device_mac,
+                self.gateway_mac,
+                self.device_ip,
+                self.drop_host_ip,
+                49900 + i,
+                443,
+                bytes(int(rng.integers(200, 800))),
+            )
+
+
+@dataclass(frozen=True)
+class LateralPortScan(AttackScenario):
+    """Goal (b): probe another local device for exploitable services."""
+
+    device_mac: str = ""
+    device_ip: str = ""
+    target_mac: str = ""
+    target_ip: str = ""
+    ports: tuple[int, ...] = (22, 23, 80, 443, 554, 1900, 8080, 9999)
+
+    name = "lateral-port-scan"
+
+    def frames(self, rng: np.random.Generator) -> Iterator[bytes]:
+        for i, port in enumerate(self.ports):
+            yield builder.tcp_syn_frame(
+                self.device_mac,
+                self.target_mac,
+                self.device_ip,
+                self.target_ip,
+                49500 + i,
+                port,
+            )
+
+
+@dataclass(frozen=True)
+class C2Beacon(AttackScenario):
+    """Command-and-control heartbeat to the attacker's server."""
+
+    device_mac: str = ""
+    device_ip: str = ""
+    gateway_mac: str = ""
+    c2_ip: str = "52.251.0.7"
+    beacons: int = 6
+
+    name = "c2-beacon"
+
+    def frames(self, rng: np.random.Generator) -> Iterator[bytes]:
+        for i in range(self.beacons):
+            yield builder.udp_raw_frame(
+                self.device_mac,
+                self.gateway_mac,
+                self.device_ip,
+                self.c2_ip,
+                53000 + i,
+                4444,
+                bytes(int(rng.integers(16, 48))),
+            )
+
+
+@dataclass(frozen=True)
+class InboundRemoteAccess(AttackScenario):
+    """Goal (c): remote attacker connects in (post NAT hole punching)."""
+
+    attacker_mac: str = "de:ad:be:ef:00:01"
+    attacker_ip: str = "52.66.6.6"
+    target_mac: str = ""
+    target_ip: str = ""
+    attempts: int = 5
+    from_wan: bool = True
+
+    name = "inbound-remote-access"
+
+    def frames(self, rng: np.random.Generator) -> Iterator[bytes]:
+        for i in range(self.attempts):
+            yield builder.tcp_syn_frame(
+                self.attacker_mac,
+                self.target_mac,
+                self.attacker_ip,
+                self.target_ip,
+                40000 + i,
+                int(rng.choice((23, 80, 8080, 49152))),
+            )
+
+
+@dataclass
+class AttackReport:
+    """Outcome of replaying one scenario against a gateway."""
+
+    scenario: str
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    frames_delivered: int = 0
+
+    @property
+    def contained(self) -> bool:
+        """True when nothing the attacker sent reached its destination."""
+        return self.frames_sent > 0 and self.frames_delivered == 0
+
+    @property
+    def containment_rate(self) -> float:
+        if self.frames_sent == 0:
+            return 1.0
+        return self.frames_dropped / self.frames_sent
+
+
+def run_attack(
+    gateway: SecurityGateway,
+    scenario: AttackScenario,
+    *,
+    start_time: float = 1000.0,
+    rng: np.random.Generator | None = None,
+) -> AttackReport:
+    """Replay a scenario through the gateway's data plane."""
+    rng = rng or np.random.default_rng()
+    report = AttackReport(scenario=scenario.name)
+    now = start_time
+    for frame in scenario.frames(rng):
+        if scenario.from_wan:
+            result = gateway.process_wan_frame(frame, now)
+        else:
+            from repro.packets import decode
+
+            result = gateway.process_frame(decode(frame).src_mac, frame, now)
+        report.frames_sent += 1
+        if result.dropped:
+            report.frames_dropped += 1
+        elif result.delivered:
+            report.frames_delivered += 1
+        now += 0.2
+    return report

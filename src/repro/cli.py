@@ -1,0 +1,292 @@
+"""Command-line interface: the IoT Sentinel toolchain as a CLI.
+
+Subcommands mirror the operational workflow:
+
+* ``devices``  — list the catalogue of simulated device types
+* ``simulate`` — run one device setup and write the capture to a pcap
+* ``dataset``  — build a labelled fingerprint corpus (JSON)
+* ``train``    — train the per-type classifier bank from a corpus
+* ``identify`` — identify the device in a pcap with a trained model
+* ``evaluate`` — cross-validate a corpus and print per-type accuracy
+
+Example session::
+
+    iot-sentinel dataset --runs 20 --seed 7 --output corpus.json
+    iot-sentinel train --corpus corpus.json --output model.json
+    iot-sentinel simulate --device iKettle2 --seed 3 --output kettle.pcap
+    iot-sentinel identify --model model.json --pcap kettle.pcap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import DeviceIdentifier, fingerprint_from_records
+from repro.core.persistence import (
+    load_identifier,
+    load_registry,
+    save_identifier,
+    save_registry,
+)
+from repro.devices import DEVICE_PROFILES, collect_dataset, profile_by_name, simulate_setup_capture
+from repro.packets import decode, read_capture, write_pcap
+from repro.reporting import crossvalidate_identification, render_accuracy_bars
+from repro.securityservice import seed_database
+from repro.securityservice.assessment import assess_device_type
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    for profile in DEVICE_PROFILES:
+        techs = [
+            name
+            for name in ("wifi", "zigbee", "ethernet", "zwave", "other")
+            if getattr(profile.connectivity, name)
+        ]
+        group = f"  [confusion group: {profile.confusion_group}]" if profile.confusion_group else ""
+        print(f"{profile.identifier:<20} {profile.model:<50} {','.join(techs)}{group}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.device)
+    rng = np.random.default_rng(args.seed)
+    mac, records = simulate_setup_capture(profile, rng)
+    write_pcap(args.output, records)
+    print(f"device MAC: {mac}")
+    print(f"wrote {len(records)} frames to {args.output}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    profiles = DEVICE_PROFILES
+    if args.devices:
+        wanted = set(args.devices)
+        profiles = [p for p in DEVICE_PROFILES if p.identifier in wanted]
+        missing = wanted - {p.identifier for p in profiles}
+        if missing:
+            print(f"error: unknown device types {sorted(missing)}", file=sys.stderr)
+            return 1
+    registry = collect_dataset(profiles, runs_per_device=args.runs, seed=args.seed)
+    save_registry(registry, args.output)
+    total = sum(registry.count(label) for label in registry.labels)
+    print(f"wrote {total} fingerprints ({len(registry)} types) to {args.output}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    registry = load_registry(args.corpus)
+    identifier = DeviceIdentifier(random_state=args.seed).fit(registry)
+    save_identifier(identifier, args.output)
+    print(f"trained {len(identifier.labels)} classifiers -> {args.output}")
+    return 0
+
+
+def _cmd_identify(args: argparse.Namespace) -> int:
+    identifier = load_identifier(args.model)
+    capture = read_capture(args.pcap)  # classic pcap or pcapng
+    mac = args.mac
+    if mac is None:
+        if not capture.records:
+            print("error: empty capture", file=sys.stderr)
+            return 1
+        mac = decode(capture.records[0].data).src_mac
+        print(f"(inferred device MAC {mac} from the first frame)")
+    fingerprint = fingerprint_from_records(capture.records, mac)
+    if len(fingerprint) == 0:
+        print(f"error: no packets from {mac} in capture", file=sys.stderr)
+        return 1
+    result = identifier.identify(fingerprint)
+    assessment = assess_device_type(result.label, seed_database())
+    print(f"device type     : {result.label}")
+    if result.candidates:
+        print(f"matched by      : {', '.join(result.candidates)}")
+    if result.used_discrimination:
+        scores = ", ".join(f"{k}={v:.2f}" for k, v in sorted(result.scores.items()))
+        print(f"dissimilarity   : {scores}")
+    print(f"isolation level : {assessment.level.value}")
+    if assessment.vulnerability_ids:
+        print(f"vulnerabilities : {', '.join(assessment.vulnerability_ids)}")
+    return 0
+
+
+def _cmd_export_captures(args: argparse.Namespace) -> int:
+    """Materialize the evaluation corpus as pcap files on disk.
+
+    Produces the public equivalent of the paper's "dataset collected from
+    our evaluation setup is available on request": one pcap per setup run,
+    laid out as ``<out>/<DeviceType>/run_<NN>.pcap``.
+    """
+    from pathlib import Path
+
+    out_dir = Path(args.output)
+    rng = np.random.default_rng(args.seed)
+    profiles = DEVICE_PROFILES
+    if args.devices:
+        wanted = set(args.devices)
+        profiles = [p for p in DEVICE_PROFILES if p.identifier in wanted]
+    total = 0
+    for profile in profiles:
+        type_dir = out_dir / profile.identifier
+        type_dir.mkdir(parents=True, exist_ok=True)
+        for run in range(args.runs):
+            mac, records = simulate_setup_capture(profile, rng)
+            if args.bidirectional:
+                from repro.devices import bidirectional_capture
+
+                records = bidirectional_capture(records)
+            write_pcap(type_dir / f"run_{run:02d}.pcap", records)
+            total += 1
+    print(f"wrote {total} captures under {out_dir}")
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    """Run a full collection campaign (pcaps + provenance manifest)."""
+    from repro.labtools import CollectionCampaign
+
+    profiles = DEVICE_PROFILES
+    if args.devices:
+        wanted = set(args.devices)
+        profiles = [p for p in DEVICE_PROFILES if p.identifier in wanted]
+    campaign = CollectionCampaign(
+        args.output,
+        profiles=profiles,
+        runs_per_device=args.runs,
+        seed=args.seed,
+        bidirectional=not args.device_only,
+    )
+    manifest = campaign.run()
+    summary = manifest.summary()
+    print(
+        f"{summary['total_runs']} runs / {summary['device_types']} types / "
+        f"{summary['total_packets']} packets -> {args.output}"
+    )
+    problems = manifest.validate(args.output)
+    if problems:
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_script(args: argparse.Namespace) -> int:
+    """Print the scripted setup instructions for one device type."""
+    from repro.labtools import setup_script
+
+    profile = profile_by_name(args.device)
+    print(f"Setup script: {profile.vendor} {profile.model}\n")
+    for step in setup_script(profile):
+        marker = "   <- capture checkpoint" if step.expects_traffic else ""
+        print(f"{step}{marker}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    registry = load_registry(args.corpus)
+    result = crossvalidate_identification(
+        registry, n_splits=args.folds, repetitions=args.repetitions, seed=args.seed
+    )
+    print(render_accuracy_bars(dict(sorted(result.per_class().items()))))
+    print(f"\nglobal accuracy: {result.global_accuracy:.3f}")
+    print(f"multi-match rate: {result.multi_match_fraction:.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="iot-sentinel",
+        description="IoT Sentinel reproduction: device-type identification toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated device-type catalogue")
+
+    p_sim = sub.add_parser("simulate", help="simulate one device setup into a pcap")
+    p_sim.add_argument("--device", required=True, help="device type identifier (see `devices`)")
+    p_sim.add_argument("--output", required=True, help="pcap output path")
+    p_sim.add_argument("--seed", type=int, default=None)
+
+    p_data = sub.add_parser("dataset", help="build a labelled fingerprint corpus")
+    p_data.add_argument("--runs", type=int, default=20, help="setup runs per device type")
+    p_data.add_argument("--seed", type=int, default=None)
+    p_data.add_argument("--output", required=True, help="corpus JSON output path")
+    p_data.add_argument(
+        "--devices", nargs="+", default=None,
+        help="restrict to these device types (default: all 27)",
+    )
+
+    p_train = sub.add_parser("train", help="train the classifier bank")
+    p_train.add_argument("--corpus", required=True, help="corpus JSON from `dataset`")
+    p_train.add_argument("--output", required=True, help="model JSON output path")
+    p_train.add_argument("--seed", type=int, default=None)
+
+    p_id = sub.add_parser("identify", help="identify the device in a pcap")
+    p_id.add_argument("--model", required=True, help="model JSON from `train`")
+    p_id.add_argument("--pcap", required=True, help="capture of the device's setup")
+    p_id.add_argument("--mac", default=None, help="device MAC (default: first frame's source)")
+
+    p_export = sub.add_parser(
+        "export-captures", help="materialize the evaluation corpus as pcaps"
+    )
+    p_export.add_argument("--output", required=True, help="output directory")
+    p_export.add_argument("--runs", type=int, default=20)
+    p_export.add_argument("--seed", type=int, default=None)
+    p_export.add_argument("--devices", nargs="+", default=None)
+    p_export.add_argument(
+        "--bidirectional", action="store_true",
+        help="include the environment's responses (DHCP offers, ARP replies, ...)",
+    )
+
+    p_collect = sub.add_parser(
+        "collect", help="run a collection campaign with a provenance manifest"
+    )
+    p_collect.add_argument("--output", required=True, help="dataset directory")
+    p_collect.add_argument("--runs", type=int, default=20)
+    p_collect.add_argument("--seed", type=int, default=None)
+    p_collect.add_argument("--devices", nargs="+", default=None)
+    p_collect.add_argument(
+        "--device-only", action="store_true",
+        help="omit the environment's response frames",
+    )
+
+    p_script = sub.add_parser("script", help="show a device type's setup script")
+    p_script.add_argument("--device", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="cross-validate a corpus")
+    p_eval.add_argument("--corpus", required=True)
+    p_eval.add_argument("--folds", type=int, default=10)
+    p_eval.add_argument("--repetitions", type=int, default=1)
+    p_eval.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "devices": _cmd_devices,
+    "simulate": _cmd_simulate,
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "identify": _cmd_identify,
+    "export-captures": _cmd_export_captures,
+    "collect": _cmd_collect,
+    "script": _cmd_script,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Fingerprinting and device-type identification — the paper's core.
+
+Public surface:
+
+* :data:`FEATURE_NAMES` / :func:`packet_features` — the 23 features of Table I
+* :class:`Fingerprint` — the F / F' representations of Sect. IV-A
+* :class:`FingerprintExtractor` / :class:`SetupPhaseDetector` — traffic → F
+* :class:`DeviceIdentifier` — the two-stage pipeline of Sect. IV-B
+* :class:`DeviceTypeRegistry` — the IoTSSP training corpus
+"""
+
+from .analysis import (
+    FeatureImportanceReport,
+    classifier_feature_importance,
+    fingerprint_summary,
+)
+from .editdistance import (
+    damerau_levenshtein,
+    damerau_levenshtein_unrestricted,
+    dissimilarity_score,
+    normalized_distance,
+)
+from .extractor import (
+    FingerprintExtractor,
+    RateDropDetector,
+    SetupPhaseDetector,
+    fingerprint_from_records,
+)
+from .persistence import (
+    load_identifier,
+    load_registry,
+    save_identifier,
+    save_registry,
+)
+from .features import (
+    FEATURE_NAMES,
+    INTEGER_FEATURES,
+    NUM_FEATURES,
+    DestinationCounter,
+    packet_features,
+    port_class,
+)
+from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint, dedupe_consecutive, fixed_vector
+from .identifier import UNKNOWN_DEVICE, DeviceIdentifier, IdentificationResult
+from .registry import DeviceTypeRegistry
+
+__all__ = [
+    "DEFAULT_FP_PACKETS",
+    "FeatureImportanceReport",
+    "classifier_feature_importance",
+    "fingerprint_summary",
+    "load_identifier",
+    "load_registry",
+    "save_identifier",
+    "save_registry",
+    "FEATURE_NAMES",
+    "INTEGER_FEATURES",
+    "NUM_FEATURES",
+    "UNKNOWN_DEVICE",
+    "DestinationCounter",
+    "DeviceIdentifier",
+    "DeviceTypeRegistry",
+    "Fingerprint",
+    "FingerprintExtractor",
+    "IdentificationResult",
+    "RateDropDetector",
+    "SetupPhaseDetector",
+    "damerau_levenshtein",
+    "damerau_levenshtein_unrestricted",
+    "dedupe_consecutive",
+    "dissimilarity_score",
+    "fingerprint_from_records",
+    "fixed_vector",
+    "normalized_distance",
+    "packet_features",
+    "port_class",
+]

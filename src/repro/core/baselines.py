@@ -1,0 +1,130 @@
+"""Baseline identification approaches the paper argues against.
+
+Sect. IV-B and VII-B position IoT Sentinel's design against two
+alternatives, both implemented here so the claims can be measured:
+
+* **A single multi-class model** (GTID [20] uses one multi-class neural
+  network): :class:`MulticlassIdentifier` with the same F' features.  The
+  paper's arguments: adding a type "requires full model relearning", and a
+  multi-class model "forces any fingerprint to belong to one learned
+  class" — no new-device discovery.
+* **Aggregate traffic statistics** (Franklin et al. [12], Pang et al.
+  [21] aggregate over an observation window): :func:`aggregate_features`
+  discards the temporal dimension entirely — protocol *rates*, size
+  moments, port-class histograms — and feeds the same multi-class model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+
+from .features import FEATURE_NAMES, NUM_FEATURES
+from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint
+from .registry import DeviceTypeRegistry
+
+__all__ = ["aggregate_features", "AGGREGATE_DIM", "MulticlassIdentifier"]
+
+_SIZE_IDX = FEATURE_NAMES.index("packet_size")
+_DST_IDX = FEATURE_NAMES.index("dst_ip_counter")
+_SRC_PORT_IDX = FEATURE_NAMES.index("src_port_class")
+_DST_PORT_IDX = FEATURE_NAMES.index("dst_port_class")
+
+#: 18 binary-feature rates + 4 size moments + 2 + 4 + 4 port histograms + 2
+AGGREGATE_DIM = 18 + 4 + 2 + 4 + 4
+
+
+def aggregate_features(fingerprint: Fingerprint) -> np.ndarray:
+    """Order-free summary statistics of one capture (the [12]/[21] style).
+
+    Everything the 23 features observe, aggregated over the whole setup
+    window with the packet *sequence* deliberately discarded.
+    """
+    rows = fingerprint.rows
+    out = np.zeros(AGGREGATE_DIM)
+    if len(rows) == 0:
+        return out
+    # Rates of the 18 binary protocol/option features.
+    out[:18] = rows[:, :18].mean(axis=0)
+    sizes = rows[:, _SIZE_IDX]
+    out[18] = sizes.mean()
+    out[19] = sizes.std()
+    out[20] = sizes.min()
+    out[21] = sizes.max()
+    out[22] = len(rows)
+    out[23] = rows[:, _DST_IDX].max()  # distinct destinations contacted
+    for k in range(4):
+        out[24 + k] = float(np.mean(rows[:, _SRC_PORT_IDX] == k))
+        out[28 + k] = float(np.mean(rows[:, _DST_PORT_IDX] == k))
+    return out
+
+
+class MulticlassIdentifier:
+    """One multi-class Random Forest over all device types (GTID-style).
+
+    ``features``: ``"sequence"`` uses the paper's F' vectors; ``"aggregate"``
+    uses order-free statistics.  Unlike the per-type classifier bank, (a)
+    :meth:`add_type` must retrain the entire model, and (b) every
+    fingerprint is forced into one known class — there is no reject path.
+    """
+
+    def __init__(
+        self,
+        *,
+        features: str = "sequence",
+        fp_length: int = DEFAULT_FP_PACKETS,
+        n_estimators: int = 20,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if features not in ("sequence", "aggregate"):
+            raise ValueError(f"unknown feature mode {features!r}")
+        self.features = features
+        self.fp_length = fp_length
+        self.n_estimators = n_estimators
+        self._rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+        self._model: RandomForestClassifier | None = None
+        self.full_retrains = 0
+
+    def _vector(self, fingerprint: Fingerprint) -> np.ndarray:
+        if self.features == "sequence":
+            return fingerprint.fixed(self.fp_length)
+        return aggregate_features(fingerprint)
+
+    def fit(self, registry: DeviceTypeRegistry) -> "MulticlassIdentifier":
+        """(Re)train the single model on every type's fingerprints."""
+        rows, labels = [], []
+        for label in registry.labels:
+            for fingerprint in registry.fingerprints(label):
+                rows.append(self._vector(fingerprint))
+                labels.append(label)
+        if len(set(labels)) < 2:
+            raise ValueError("need at least two device types to train")
+        self._model = RandomForestClassifier(
+            n_estimators=self.n_estimators, random_state=self._rng
+        ).fit(np.vstack(rows), np.asarray(labels))
+        self.full_retrains += 1
+        return self
+
+    def add_type(self, registry: DeviceTypeRegistry, label: str) -> None:
+        """Adding one type forces a full relearn — the paper's complaint."""
+        del label  # the new type's data is already in the registry
+        self.fit(registry)
+
+    def identify(self, fingerprint: Fingerprint) -> str:
+        """Always returns a known label; there is no 'unknown' outcome."""
+        if self._model is None:
+            raise RuntimeError("identifier is not trained")
+        return str(self._model.predict(self._vector(fingerprint).reshape(1, -1))[0])
+
+    def identify_batch(self, fingerprints: list[Fingerprint]) -> list[str]:
+        if self._model is None:
+            raise RuntimeError("identifier is not trained")
+        if not fingerprints:
+            return []
+        stacked = np.vstack([self._vector(fp) for fp in fingerprints])
+        return [str(label) for label in self._model.predict(stacked)]

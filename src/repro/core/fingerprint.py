@@ -1,0 +1,113 @@
+"""Device fingerprints: the variable-length matrix ``F`` and fixed ``F'``.
+
+``F`` keeps one column per packet (Eq. 1 of the paper) with *consecutive
+duplicates removed*; ``F'`` concatenates the first
+:data:`DEFAULT_FP_PACKETS` *unique* packet vectors into a flat
+``12 × 23 = 276``-dimensional vector, zero-padded when fewer unique packets
+exist.  We store ``F`` transposed (rows = packets) because that is the
+natural numpy orientation; :attr:`Fingerprint.matrix` exposes the paper's
+23×n layout for fidelity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .features import NUM_FEATURES
+
+__all__ = ["DEFAULT_FP_PACKETS", "Fingerprint", "dedupe_consecutive", "fixed_vector"]
+
+#: The paper's F' length: "12 packets was a good trade-off".
+DEFAULT_FP_PACKETS = 12
+
+
+def dedupe_consecutive(vectors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Drop packets identical (feature-wise) to their predecessor.
+
+    Implements "Consecutive identical packets from our feature set
+    perspective (i.e. p_i = p_{i+1}) are discarded from F".
+    """
+    out: list[np.ndarray] = []
+    for vector in vectors:
+        if out and np.array_equal(out[-1], vector):
+            continue
+        out.append(np.asarray(vector, dtype=np.float64))
+    return out
+
+
+def fixed_vector(
+    packet_vectors: Sequence[np.ndarray], length: int = DEFAULT_FP_PACKETS
+) -> np.ndarray:
+    """Build ``F'``: first ``length`` *unique* packet vectors, zero-padded."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    unique: list[np.ndarray] = []
+    seen: set[tuple] = set()
+    for vector in packet_vectors:
+        key = tuple(np.asarray(vector).tolist())
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(np.asarray(vector, dtype=np.float64))
+        if len(unique) == length:
+            break
+    out = np.zeros(length * NUM_FEATURES, dtype=np.float64)
+    for i, vector in enumerate(unique):
+        out[i * NUM_FEATURES : (i + 1) * NUM_FEATURES] = vector
+    return out
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """One device fingerprint: packet-feature rows plus metadata."""
+
+    packets: tuple[tuple[float, ...], ...]
+    device_mac: str = ""
+    label: str | None = None
+
+    @classmethod
+    def from_vectors(
+        cls,
+        vectors: Iterable[np.ndarray],
+        *,
+        device_mac: str = "",
+        label: str | None = None,
+    ) -> "Fingerprint":
+        """Construct from raw per-packet feature vectors (applies dedup)."""
+        deduped = dedupe_consecutive([np.asarray(v) for v in vectors])
+        for vector in deduped:
+            if vector.shape != (NUM_FEATURES,):
+                raise ValueError(f"feature vector must have {NUM_FEATURES} entries")
+        return cls(
+            packets=tuple(tuple(float(x) for x in v) for v in deduped),
+            device_mac=device_mac,
+            label=label,
+        )
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The paper's 23×n matrix F (features as rows, packets as columns)."""
+        if not self.packets:
+            return np.zeros((NUM_FEATURES, 0))
+        return np.asarray(self.packets, dtype=np.float64).T
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Packets-as-rows orientation (n×23) for numpy-friendly work."""
+        if not self.packets:
+            return np.zeros((0, NUM_FEATURES))
+        return np.asarray(self.packets, dtype=np.float64)
+
+    def fixed(self, length: int = DEFAULT_FP_PACKETS) -> np.ndarray:
+        """The fixed-size vector F' (length × 23 entries)."""
+        return fixed_vector(self.rows, length)
+
+    def symbols(self) -> tuple[tuple[float, ...], ...]:
+        """Packets as hashable symbols for edit-distance comparison."""
+        return self.packets

@@ -1,0 +1,134 @@
+"""Save/load fingerprint corpora and trained identifiers.
+
+Everything round-trips through JSON so that a gateway operator can
+version-control the IoTSSP's model artifacts, ship them between machines,
+and reload them without retraining.  Format:
+
+* fingerprint   — ``{"mac", "label", "packets": [[...23 floats...], ...]}``
+* registry      — ``{"types": {label: [fingerprint, ...]}}``
+* identifier    — hyper-parameters + per-type serialized forest +
+  reference fingerprints for the discrimination stage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.serialize import forest_from_dict, forest_to_dict
+
+from .fingerprint import Fingerprint
+from .identifier import DeviceIdentifier, _TypeModel
+from .registry import DeviceTypeRegistry
+
+__all__ = [
+    "fingerprint_to_dict",
+    "fingerprint_from_dict",
+    "registry_to_dict",
+    "registry_from_dict",
+    "save_registry",
+    "load_registry",
+    "identifier_to_dict",
+    "identifier_from_dict",
+    "save_identifier",
+    "load_identifier",
+]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint_to_dict(fingerprint: Fingerprint) -> dict:
+    return {
+        "mac": fingerprint.device_mac,
+        "label": fingerprint.label,
+        "packets": [list(packet) for packet in fingerprint.packets],
+    }
+
+
+def fingerprint_from_dict(data: dict) -> Fingerprint:
+    return Fingerprint(
+        packets=tuple(tuple(float(x) for x in packet) for packet in data["packets"]),
+        device_mac=data.get("mac", ""),
+        label=data.get("label"),
+    )
+
+
+def registry_to_dict(registry: DeviceTypeRegistry) -> dict:
+    return {
+        "version": _FORMAT_VERSION,
+        "types": {
+            label: [fingerprint_to_dict(fp) for fp in registry.fingerprints(label)]
+            for label in registry.labels
+        },
+    }
+
+
+def registry_from_dict(data: dict) -> DeviceTypeRegistry:
+    registry = DeviceTypeRegistry()
+    for label, fingerprints in data["types"].items():
+        registry.add_many(label, [fingerprint_from_dict(fp) for fp in fingerprints])
+    return registry
+
+
+def save_registry(registry: DeviceTypeRegistry, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(registry_to_dict(registry)))
+
+
+def load_registry(path: str | Path) -> DeviceTypeRegistry:
+    return registry_from_dict(json.loads(Path(path).read_text()))
+
+
+def identifier_to_dict(identifier: DeviceIdentifier) -> dict:
+    if not identifier._models:
+        raise ValueError("cannot serialize an untrained identifier")
+    return {
+        "version": _FORMAT_VERSION,
+        "params": {
+            "fp_length": identifier.fp_length,
+            "negative_ratio": identifier.negative_ratio,
+            "n_references": identifier.n_references,
+            "n_estimators": identifier.n_estimators,
+            "accept_threshold": identifier.accept_threshold,
+        },
+        "models": {
+            label: {
+                "forest": forest_to_dict(model.classifier),
+                "references": [fingerprint_to_dict(fp) for fp in model.references],
+            }
+            for label, model in identifier._models.items()
+        },
+    }
+
+
+def identifier_from_dict(data: dict) -> DeviceIdentifier:
+    params = data["params"]
+    identifier = DeviceIdentifier(
+        fp_length=int(params["fp_length"]),
+        negative_ratio=int(params["negative_ratio"]),
+        n_references=int(params["n_references"]),
+        n_estimators=int(params["n_estimators"]),
+        accept_threshold=float(params["accept_threshold"]),
+    )
+    for label, model in data["models"].items():
+        forest = forest_from_dict(model["forest"])
+        # Serialized boolean class labels come back as Python bools; the
+        # accept path expects True to be locatable in classes_.
+        forest.classes_ = np.asarray([bool(c) for c in forest.classes_])
+        for tree in forest.trees_:
+            tree.classes_ = np.asarray([bool(c) for c in tree.classes_])
+        identifier._models[label] = _TypeModel(
+            label=label,
+            classifier=forest,
+            references=[fingerprint_from_dict(fp) for fp in model["references"]],
+        )
+    return identifier
+
+
+def save_identifier(identifier: DeviceIdentifier, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(identifier_to_dict(identifier)))
+
+
+def load_identifier(path: str | Path) -> DeviceIdentifier:
+    return identifier_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,47 @@
+"""Device-behaviour simulation: profiles, dialogues, traffic, datasets.
+
+Substitutes the paper's physical IoT lab (Sect. VI-A): 27 device-type
+profiles whose setup dialogues generate real packet bytes through
+:mod:`repro.packets.builder`.
+"""
+
+from .behavior import SetupDialogue, SetupStep, step
+from .dataset import collect_dataset, collect_fingerprints, instance_mac, simulate_setup_capture
+from .firmware import apply_firmware_update
+from .generator import NetworkEnvironment, TrafficGenerator
+from .standby import (
+    collect_standby_dataset,
+    collect_standby_fingerprints,
+    derive_standby_dialogue,
+)
+from .responder import EnvironmentResponder, bidirectional_capture
+from .profiles import (
+    CONFUSION_GROUPS,
+    DEVICE_PROFILES,
+    Connectivity,
+    DeviceProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "CONFUSION_GROUPS",
+    "DEVICE_PROFILES",
+    "Connectivity",
+    "DeviceProfile",
+    "EnvironmentResponder",
+    "NetworkEnvironment",
+    "bidirectional_capture",
+    "SetupDialogue",
+    "SetupStep",
+    "TrafficGenerator",
+    "apply_firmware_update",
+    "collect_dataset",
+    "collect_standby_dataset",
+    "collect_standby_fingerprints",
+    "derive_standby_dialogue",
+    "collect_fingerprints",
+    "instance_mac",
+    "profile_by_name",
+    "simulate_setup_capture",
+    "step",
+]

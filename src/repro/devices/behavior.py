@@ -1,0 +1,114 @@
+"""Declarative setup-dialogue language for simulated IoT devices.
+
+A device profile describes its setup phase as an ordered list of
+:class:`SetupStep` entries — "perform the WPA2 handshake", "DHCP", "resolve
+``api.vendor.com``", "open TLS to the cloud", … — with optional inclusion
+probabilities, repeat ranges and payload-size jitter.  The
+:mod:`repro.devices.generator` executes a dialogue into real Ethernet
+frames via :mod:`repro.packets.builder`.
+
+This layer is the substitution for the paper's physical lab captures: the
+*structure* of the dialogue (protocol mix, endpoint count/order, packet
+sizes, port classes) is exactly what the 23 Table-I features observe, so
+device types that differ here are distinguishable the same way the real
+ones were — and same-vendor siblings that share a dialogue template are
+confusable the same way the real ones were (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepKind", "SetupStep", "SetupDialogue", "step"]
+
+#: Recognized step kinds, each mapping to one builder recipe.
+STEP_KINDS = frozenset(
+    {
+        "eapol_handshake",
+        "llc_announce",
+        "dhcp",  # discover + request exchange
+        "bootp",  # optionless BOOTP request
+        "arp_probe",
+        "arp_announce",
+        "arp_gateway",
+        "icmpv6_rs",
+        "icmpv6_ns",
+        "mld_report",
+        "igmp_join",
+        "dns",
+        "mdns_query",
+        "mdns_announce",
+        "ssdp_msearch",
+        "ssdp_notify",
+        "ntp",
+        "tcp_syn",
+        "http_get",
+        "http_post",
+        "https",
+        "tcp_raw",
+        "udp_raw",
+        "icmp_echo",
+    }
+)
+
+StepKind = str
+
+
+@dataclass(frozen=True)
+class SetupStep:
+    """One unit of the setup dialogue.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`STEP_KINDS`.
+    params:
+        Step-specific parameters (hostname, payload sizes, ports, …).
+    probability:
+        Chance the step occurs in a given setup run (stochastic setup
+        variation is what makes the 20 runs per device non-identical).
+    repeat:
+        ``(min, max)`` inclusive range of repetitions when the step occurs.
+    gap:
+        Mean inter-packet delay (seconds) after each emitted frame.
+    """
+
+    kind: StepKind
+    params: dict = field(default_factory=dict)
+    probability: float = 1.0
+    repeat: tuple[int, int] = (1, 1)
+    gap: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.kind not in STEP_KINDS:
+            raise ValueError(f"unknown step kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        lo, hi = self.repeat
+        if lo < 1 or hi < lo:
+            raise ValueError(f"invalid repeat range {self.repeat}")
+
+
+def step(
+    kind: StepKind,
+    probability: float = 1.0,
+    repeat: tuple[int, int] = (1, 1),
+    gap: float = 0.15,
+    **params,
+) -> SetupStep:
+    """Terse :class:`SetupStep` constructor used by the profile catalogue."""
+    return SetupStep(kind=kind, params=params, probability=probability, repeat=repeat, gap=gap)
+
+
+@dataclass(frozen=True)
+class SetupDialogue:
+    """A full setup-phase script for one device type."""
+
+    steps: tuple[SetupStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("dialogue must have at least one step")
+
+    def __len__(self) -> int:
+        return len(self.steps)

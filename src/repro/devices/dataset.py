@@ -1,0 +1,76 @@
+"""Fingerprint dataset construction (the paper's 27 × 20 = 540 corpus).
+
+Replays the evaluation's data collection (Sect. VI-A): each device type's
+setup procedure is executed ``runs_per_device`` times (the paper's hard
+reset + re-setup loop), each run with a fresh MAC instance and fresh
+stochastic choices, and the captured frames are distilled into
+fingerprints through the exact extraction pipeline of Sect. IV-A.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.extractor import fingerprint_from_records
+from repro.core.fingerprint import Fingerprint
+from repro.core.registry import DeviceTypeRegistry
+from repro.packets.pcap import CaptureRecord
+
+from .generator import NetworkEnvironment, TrafficGenerator
+from .profiles import DEVICE_PROFILES, DeviceProfile
+
+__all__ = ["instance_mac", "simulate_setup_capture", "collect_fingerprints", "collect_dataset"]
+
+
+def instance_mac(profile: DeviceProfile, rng: np.random.Generator) -> str:
+    """A fresh MAC for one device instance (vendor OUI + random NIC part)."""
+    suffix = rng.integers(0, 256, size=3)
+    return profile.oui + ":" + ":".join(f"{int(b):02x}" for b in suffix)
+
+
+def simulate_setup_capture(
+    profile: DeviceProfile,
+    rng: np.random.Generator | None = None,
+    *,
+    env: NetworkEnvironment | None = None,
+    start_time: float = 0.0,
+) -> tuple[str, list[CaptureRecord]]:
+    """Run one setup procedure; returns (device MAC, captured frames)."""
+    rng = rng or np.random.default_rng()
+    mac = instance_mac(profile, rng)
+    generator = TrafficGenerator(
+        mac, profile.dialogue, env=env or NetworkEnvironment(),
+        port_base=profile.port_base, rng=rng,
+    )
+    return mac, generator.run(start_time)
+
+
+def collect_fingerprints(
+    profile: DeviceProfile,
+    runs: int = 20,
+    *,
+    rng: np.random.Generator | None = None,
+) -> list[Fingerprint]:
+    """Fingerprints from ``runs`` independent setup executions of one type."""
+    rng = rng or np.random.default_rng()
+    out: list[Fingerprint] = []
+    for _ in range(runs):
+        mac, records = simulate_setup_capture(profile, rng)
+        out.append(fingerprint_from_records(records, mac, label=profile.identifier))
+    return out
+
+
+def collect_dataset(
+    profiles: Sequence[DeviceProfile] = DEVICE_PROFILES,
+    runs_per_device: int = 20,
+    *,
+    seed: int | None = None,
+) -> DeviceTypeRegistry:
+    """The full evaluation corpus: a registry with ``runs`` per type."""
+    rng = np.random.default_rng(seed)
+    registry = DeviceTypeRegistry()
+    for profile in profiles:
+        registry.add_many(profile.identifier, collect_fingerprints(profile, runs_per_device, rng=rng))
+    return registry

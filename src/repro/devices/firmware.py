@@ -1,0 +1,63 @@
+"""Firmware-update behaviour drift (Sect. VIII-B).
+
+The paper defines a device *type* as make + model + **software version**
+and observed that the few devices updated during data collection produced
+"distinguishable fingerprints between software versions".  This module
+models an update as a systematic shift in the observable dialogue — new
+payload framing (size deltas), an added telemetry endpoint, altered retry
+behaviour — so the drift experiment (``bench_ext_firmware.py``) can
+reproduce that observation and show that the fix is simply enrolling the
+new version as its own device type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .behavior import SetupDialogue, SetupStep, step
+from .profiles import DeviceProfile
+
+__all__ = ["apply_firmware_update"]
+
+#: Step kinds whose payload sizes a firmware revision plausibly changes.
+_SIZED_KINDS = frozenset({"tcp_raw", "udp_raw", "http_post", "llc_announce"})
+
+
+def _shift_sizes(s: SetupStep, delta: int) -> SetupStep:
+    if s.kind not in _SIZED_KINDS or "size" not in s.params:
+        return s
+    lo, hi = s.params["size"]
+    params = dict(s.params)
+    params["size"] = (max(1, lo + delta), hi + delta)
+    return SetupStep(
+        kind=s.kind, params=params, probability=s.probability, repeat=s.repeat, gap=s.gap
+    )
+
+
+def apply_firmware_update(
+    profile: DeviceProfile,
+    *,
+    version: str = "v2",
+    size_delta: int = 24,
+    add_telemetry: bool = True,
+) -> DeviceProfile:
+    """A new software version of ``profile`` with drifted behaviour.
+
+    * all proprietary payload sizes shift by ``size_delta`` bytes (new
+      message framing),
+    * an update-check/telemetry exchange to a new vendor endpoint is
+      appended (changes the destination counter sequence), and
+    * the identifier gains a ``+version`` suffix, because make + model +
+      software version is a distinct device type by the paper's definition.
+    """
+    steps = tuple(_shift_sizes(s, size_delta) for s in profile.dialogue.steps)
+    if add_telemetry:
+        steps = steps + (
+            step("dns", host=f"fw-{version}.telemetry.example", gap=0.2),
+            step("https", host=f"fw-{version}.telemetry.example", gap=0.3),
+        )
+    return replace(
+        profile,
+        identifier=f"{profile.identifier}+{version}",
+        dialogue=SetupDialogue(steps=steps),
+    )

@@ -1,0 +1,274 @@
+"""Execute setup dialogues into concrete captured frames.
+
+The :class:`TrafficGenerator` plays a :class:`~repro.devices.behavior.SetupDialogue`
+for one device instance on a simulated home network, producing timestamped
+:class:`~repro.packets.pcap.CaptureRecord` frames exactly as the Security
+Gateway's tcpdump would have seen them.  Every run re-rolls the stochastic
+elements (optional steps, repeats, payload sizes, ports, timing), standing
+in for the paper's 20 hard-reset setup repetitions per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.packets import builder
+from repro.packets.pcap import CaptureRecord
+
+from .behavior import SetupDialogue, SetupStep
+
+__all__ = ["NetworkEnvironment", "TrafficGenerator"]
+
+
+@dataclass
+class NetworkEnvironment:
+    """Addressing context of the simulated home network."""
+
+    gateway_mac: str = "02:00:00:00:00:01"
+    gateway_ip: str = "192.168.1.1"
+    dns_server: str = "192.168.1.1"
+    subnet_prefix: str = "192.168.1"
+    public_pool_prefix: str = "52.16"
+    _next_host: int = field(default=20, repr=False)
+    _next_public: int = field(default=1, repr=False)
+
+    def allocate_device_ip(self) -> str:
+        ip = f"{self.subnet_prefix}.{self._next_host}"
+        self._next_host += 1
+        if self._next_host > 250:
+            self._next_host = 20
+        return ip
+
+    def allocate_public_ip(self) -> str:
+        third, fourth = divmod(self._next_public, 250)
+        self._next_public += 1
+        return f"{self.public_pool_prefix}.{third % 250}.{fourth + 1}"
+
+
+class TrafficGenerator:
+    """Plays one device's setup dialogue into raw frames.
+
+    Parameters
+    ----------
+    mac:
+        The device instance's MAC address.
+    dialogue:
+        The setup script to execute.
+    env:
+        Shared network environment (addressing).
+    port_base:
+        Start of the source-port range the device draws ephemeral ports
+        from; vendors differ here, which the port-class features pick up.
+    rng:
+        Randomness source; pass a seeded generator for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        mac: str,
+        dialogue: SetupDialogue,
+        *,
+        env: NetworkEnvironment | None = None,
+        port_base: int = 49200,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.mac = mac
+        self.dialogue = dialogue
+        self.env = env or NetworkEnvironment()
+        self.rng = rng or np.random.default_rng()
+        self.device_ip = self.env.allocate_device_ip()
+        self.link_local_v6 = "fe80::" + ":".join(
+            f"{int(b, 16):x}" for b in mac.split(":")[2:6]
+        )
+        self._port = port_base + int(self.rng.integers(0, 64))
+        self._endpoints: dict[str, str] = {}
+        self._xid = int(self.rng.integers(1, 2**31))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _next_port(self) -> int:
+        self._port += 1 + int(self.rng.integers(0, 3))
+        if self._port > 65500:
+            self._port = 49200
+        return self._port
+
+    def resolve(self, host: str) -> str:
+        """Stable per-run host → IP mapping (ordering feeds the counter)."""
+        if host not in self._endpoints:
+            self._endpoints[host] = self.env.allocate_public_ip()
+        return self._endpoints[host]
+
+    def _size(self, params: dict, key: str, default: tuple[int, int]) -> int:
+        lo, hi = params.get(key, default)
+        return int(self.rng.integers(lo, hi + 1))
+
+    # -- step execution ----------------------------------------------------
+
+    def _frames_for(self, s: SetupStep) -> list[bytes]:
+        p = s.params
+        mac, gw_mac = self.mac, self.env.gateway_mac
+        ip, gw_ip = self.device_ip, self.env.gateway_ip
+        kind = s.kind
+        if kind == "eapol_handshake":
+            # Device-originated handshake messages (2 and 4).
+            return [builder.eapol_frame(mac, gw_mac, 2), builder.eapol_frame(mac, gw_mac, 4)]
+        if kind == "llc_announce":
+            payload = bytes(self._size(p, "size", (8, 24)))
+            return [builder.llc_frame(mac, payload=payload)]
+        if kind == "dhcp":
+            self._xid += 1
+            return [
+                builder.dhcp_discover_frame(mac, self._xid, p.get("hostname")),
+                builder.dhcp_request_frame(mac, self._xid, ip, gw_ip),
+            ]
+        if kind == "bootp":
+            self._xid += 1
+            return [builder.bootp_request_frame(mac, self._xid)]
+        if kind == "arp_probe":
+            return [builder.arp_probe_frame(mac, ip)]
+        if kind == "arp_announce":
+            return [builder.arp_announce_frame(mac, ip)]
+        if kind == "arp_gateway":
+            return [builder.arp_request_frame(mac, ip, gw_ip)]
+        if kind == "icmpv6_rs":
+            return [builder.icmpv6_router_solicit_frame(mac, self.link_local_v6)]
+        if kind == "icmpv6_ns":
+            return [builder.icmpv6_neighbor_solicit_frame(mac, "::", self.link_local_v6)]
+        if kind == "mld_report":
+            return [builder.mldv2_report_frame(mac, self.link_local_v6)]
+        if kind == "igmp_join":
+            return [builder.igmp_join_frame(mac, ip, p.get("group", "239.255.255.250"))]
+        if kind == "dns":
+            return [
+                builder.dns_query_frame(
+                    mac,
+                    gw_mac,
+                    ip,
+                    self.env.dns_server,
+                    p["host"],
+                    src_port=self._next_port(),
+                    txid=int(self.rng.integers(0, 2**16)),
+                )
+            ]
+        if kind == "mdns_query":
+            return [builder.mdns_query_frame(mac, ip, p.get("service", "_services._dns-sd._udp.local"))]
+        if kind == "mdns_announce":
+            return [
+                builder.mdns_announce_frame(
+                    mac, ip, p.get("instance", "device.local"), p.get("service", "_http._tcp.local")
+                )
+            ]
+        if kind == "ssdp_msearch":
+            return [
+                builder.ssdp_msearch_frame(
+                    mac, ip, p.get("st", "ssdp:all"), src_port=self._next_port()
+                )
+            ]
+        if kind == "ssdp_notify":
+            return [
+                builder.ssdp_notify_frame(
+                    mac,
+                    ip,
+                    p.get("location", f"http://{ip}:49152/description.xml"),
+                    p.get("nt", "upnp:rootdevice"),
+                    p.get("usn", "uuid:device::upnp:rootdevice"),
+                )
+            ]
+        if kind == "ntp":
+            server = self.resolve(p.get("host", "pool.ntp.org"))
+            return [
+                builder.ntp_request_frame(mac, gw_mac, ip, server, src_port=self._next_port())
+            ]
+        if kind == "tcp_syn":
+            return [
+                builder.tcp_syn_frame(
+                    mac, gw_mac, ip, self.resolve(p["host"]), self._next_port(), p.get("port", 443)
+                )
+            ]
+        if kind == "http_get":
+            return [
+                builder.http_get_frame(
+                    mac,
+                    gw_mac,
+                    ip,
+                    self.resolve(p["host"]),
+                    p["host"],
+                    p.get("path", "/"),
+                    src_port=self._next_port(),
+                    dst_port=p.get("port", 80),
+                    user_agent=p.get("user_agent", "iot-device"),
+                )
+            ]
+        if kind == "http_post":
+            body = bytes(self._size(p, "size", (64, 160)))
+            return [
+                builder.http_post_frame(
+                    mac,
+                    gw_mac,
+                    ip,
+                    self.resolve(p["host"]),
+                    p["host"],
+                    p.get("path", "/api"),
+                    body,
+                    src_port=self._next_port(),
+                    dst_port=p.get("port", 80),
+                )
+            ]
+        if kind == "https":
+            return [
+                builder.https_client_hello_frame(
+                    mac, gw_mac, ip, self.resolve(p["host"]), p["host"], src_port=self._next_port()
+                )
+            ]
+        if kind == "tcp_raw":
+            payload = bytes(self._size(p, "size", (32, 96)))
+            return [
+                builder.tcp_raw_frame(
+                    mac,
+                    gw_mac,
+                    ip,
+                    self.resolve(p["host"]),
+                    self._next_port(),
+                    p.get("port", 8883),
+                    payload,
+                )
+            ]
+        if kind == "udp_raw":
+            payload = bytes(self._size(p, "size", (24, 72)))
+            if "broadcast_ip" in p:
+                dst_ip, dst_mac = p["broadcast_ip"], "ff:ff:ff:ff:ff:ff"
+            elif "host" in p:
+                dst_ip, dst_mac = self.resolve(p["host"]), gw_mac
+            else:
+                dst_ip, dst_mac = gw_ip, gw_mac
+            return [
+                builder.udp_raw_frame(
+                    mac, dst_mac, ip, dst_ip, self._next_port(), p.get("port", 9999), payload
+                )
+            ]
+        if kind == "icmp_echo":
+            target = self.resolve(p["host"]) if "host" in p else gw_ip
+            return [
+                builder.icmp_echo_request_frame(
+                    mac, gw_mac, ip, target, ident=1, seq=1,
+                    payload=bytes(self._size(p, "size", (48, 48))),
+                )
+            ]
+        raise AssertionError(f"unhandled step kind {kind}")  # guarded by SetupStep
+
+    def run(self, start_time: float = 0.0) -> list[CaptureRecord]:
+        """Execute the dialogue once; returns timestamped frames."""
+        records: list[CaptureRecord] = []
+        now = start_time
+        for s in self.dialogue.steps:
+            if self.rng.random() > s.probability:
+                continue
+            lo, hi = s.repeat
+            repeats = int(self.rng.integers(lo, hi + 1))
+            for _ in range(repeats):
+                for frame in self._frames_for(s):
+                    now += float(self.rng.exponential(s.gap))
+                    records.append(CaptureRecord(timestamp=now, data=frame))
+        return records

@@ -1,0 +1,118 @@
+"""Standby-traffic profiling support (Sect. VIII-A).
+
+For legacy installations, fingerprinting happens *after* a device has long
+been connected, from "the communication behaviour that devices exhibit
+during standby (e.g., heartbeat messages to the vendor's cloud solution),
+or during the normal operation of the device".  The paper's working
+hypothesis is that these exchanges are as type-characteristic as the setup
+dialogue; this module makes that testable.
+
+A profile may declare an explicit ``standby`` dialogue; otherwise
+:func:`derive_standby_dialogue` builds one from the periodic subset of the
+setup dialogue — name lookups, clock sync, cloud heartbeats, local
+announcements — with heartbeat-like repetition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extractor import fingerprint_from_records
+from repro.core.fingerprint import Fingerprint
+from repro.core.registry import DeviceTypeRegistry
+
+from .behavior import SetupDialogue, SetupStep
+from .dataset import instance_mac
+from .generator import NetworkEnvironment, TrafficGenerator
+from .profiles import DEVICE_PROFILES, DeviceProfile
+
+__all__ = [
+    "derive_standby_dialogue",
+    "collect_standby_fingerprints",
+    "collect_standby_dataset",
+]
+
+#: Step kinds that recur during normal operation (vs one-shot join steps).
+_PERIODIC_KINDS = frozenset(
+    {
+        "dns",
+        "ntp",
+        "https",
+        "http_get",
+        "http_post",
+        "tcp_raw",
+        "udp_raw",
+        "mdns_announce",
+        "mdns_query",
+        "ssdp_notify",
+        "arp_gateway",
+        "icmp_echo",
+        "llc_announce",
+    }
+)
+
+
+def derive_standby_dialogue(profile: DeviceProfile) -> SetupDialogue:
+    """The dialogue a long-connected device shows during standby.
+
+    Uses the profile's explicit ``standby`` dialogue when present;
+    otherwise keeps the periodic steps of the setup dialogue (heartbeats
+    happen at a slower cadence, so gaps are stretched).
+    """
+    if profile.standby is not None and len(profile.standby) >= 3:
+        return profile.standby
+    steps = [
+        SetupStep(
+            kind=s.kind,
+            params=s.params,
+            probability=s.probability,
+            repeat=s.repeat,
+            gap=s.gap * 4.0,
+        )
+        for s in profile.dialogue.steps
+        if s.kind in _PERIODIC_KINDS
+    ]
+    if not steps:
+        # Devices whose whole observable behaviour is join traffic keep it.
+        return profile.dialogue
+    return SetupDialogue(steps=tuple(steps))
+
+
+def collect_standby_fingerprints(
+    profile: DeviceProfile,
+    runs: int = 20,
+    *,
+    rng: np.random.Generator | None = None,
+) -> list[Fingerprint]:
+    """Fingerprints extracted from ``runs`` standby observation windows."""
+    rng = rng or np.random.default_rng()
+    dialogue = derive_standby_dialogue(profile)
+    out = []
+    for _ in range(runs):
+        mac = instance_mac(profile, rng)
+        generator = TrafficGenerator(
+            mac,
+            dialogue,
+            env=NetworkEnvironment(),
+            port_base=profile.port_base,
+            rng=rng,
+        )
+        records = generator.run()
+        out.append(fingerprint_from_records(records, mac, label=profile.identifier))
+    return out
+
+
+def collect_standby_dataset(
+    profiles=DEVICE_PROFILES,
+    runs_per_device: int = 20,
+    *,
+    seed: int | None = None,
+) -> DeviceTypeRegistry:
+    """A full corpus of standby fingerprints (the VIII-A experiment)."""
+    rng = np.random.default_rng(seed)
+    registry = DeviceTypeRegistry()
+    for profile in profiles:
+        registry.add_many(
+            profile.identifier, collect_standby_fingerprints(profile, runs_per_device, rng=rng)
+        )
+    return registry

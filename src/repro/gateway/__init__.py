@@ -1,0 +1,23 @@
+"""The Security Gateway (user-premises component) of IoT Sentinel."""
+
+from .audit import AuditEvent, AuditEventType, AuditLog
+from .gateway import WAN_PORT, AttachedDevice, SecurityGateway
+from .monitor import DeviceMonitor, MonitorEvent
+from .sentinel_module import SentinelModule, UserNotification
+from .wifi import Credential, LegacyMigration, WPSRegistrar
+
+__all__ = [
+    "WAN_PORT",
+    "AttachedDevice",
+    "AuditEvent",
+    "AuditEventType",
+    "AuditLog",
+    "Credential",
+    "DeviceMonitor",
+    "LegacyMigration",
+    "MonitorEvent",
+    "SecurityGateway",
+    "SentinelModule",
+    "UserNotification",
+    "WPSRegistrar",
+]

@@ -1,0 +1,87 @@
+"""Structured audit trail of Security Gateway decisions.
+
+Operators (and the paper's user-notification flow) need to answer "what
+did the gateway do and why": when was a device profiled, what directive
+came back, which flows were denied, was spoofing observed.  The audit log
+is an append-only in-memory ring with typed entries and query helpers;
+persistence is the operator's choice (entries are plain dicts via
+``to_dict``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["AuditEventType", "AuditEvent", "AuditLog"]
+
+
+class AuditEventType(Enum):
+    DEVICE_ATTACHED = "device-attached"
+    DEVICE_DETACHED = "device-detached"
+    PROFILING_STARTED = "profiling-started"
+    DIRECTIVE_RECEIVED = "directive-received"
+    DIRECTIVE_REFRESHED = "directive-refreshed"
+    FLOW_DENIED = "flow-denied"
+    SPOOF_DETECTED = "spoof-detected"
+    USER_NOTIFIED = "user-notified"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One timestamped gateway decision."""
+
+    timestamp: float
+    event_type: AuditEventType
+    device_mac: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "timestamp": self.timestamp,
+            "type": self.event_type.value,
+            "device": self.device_mac,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class AuditLog:
+    """Bounded append-only event store with simple queries."""
+
+    capacity: int = 10000
+    _events: deque = field(default_factory=deque)
+
+    def record(
+        self, timestamp: float, event_type: AuditEventType, device_mac: str, detail: str = ""
+    ) -> AuditEvent:
+        event = AuditEvent(
+            timestamp=timestamp, event_type=event_type, device_mac=device_mac, detail=detail
+        )
+        self._events.append(event)
+        while len(self._events) > self.capacity:
+            self._events.popleft()
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def all(self) -> list[AuditEvent]:
+        return list(self._events)
+
+    def for_device(self, mac: str) -> list[AuditEvent]:
+        return [e for e in self._events if e.device_mac == mac]
+
+    def of_type(self, event_type: AuditEventType) -> list[AuditEvent]:
+        return [e for e in self._events if e.event_type is event_type]
+
+    def since(self, timestamp: float) -> list[AuditEvent]:
+        return [e for e in self._events if e.timestamp >= timestamp]
+
+    def summary(self) -> dict:
+        """Event counts by type (for dashboards)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.event_type.value] = counts.get(event.event_type.value, 0) + 1
+        return counts

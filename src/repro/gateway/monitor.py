@@ -1,0 +1,128 @@
+"""Device monitoring: new-MAC detection and per-device capture.
+
+The Security Gateway watches all traffic on its interfaces; when a MAC it
+has never seen starts talking, it opens a fingerprinting session (Sect.
+IV-A) and collects that device's packets until the setup-phase detector
+fires.  For legacy installations (Sect. VIII-A) the same machinery can be
+pointed at an *already-connected* device to profile its standby traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.extractor import FingerprintExtractor, SetupPhaseDetector
+from repro.core.fingerprint import Fingerprint
+from repro.packets.decoder import DecodedPacket
+
+__all__ = ["MonitorEvent", "DeviceMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """Emitted when a device's profiling session completes."""
+
+    device_mac: str
+    fingerprint: Fingerprint
+    packet_count: int
+    mode: str  # "setup" or "standby"
+
+
+class DeviceMonitor:
+    """Tracks devices and runs one fingerprint extractor per new device."""
+
+    def __init__(
+        self,
+        *,
+        detector_factory=SetupPhaseDetector,
+        ignore_macs: set[str] | None = None,
+    ) -> None:
+        self._detector_factory = detector_factory
+        self._ignore = set(ignore_macs or ())
+        self._sessions: dict[str, FingerprintExtractor] = {}
+        self._modes: dict[str, str] = {}
+        self._profiled: set[str] = set()
+
+    # --- bookkeeping --------------------------------------------------------
+
+    @property
+    def profiling(self) -> list[str]:
+        """MACs currently being fingerprinted."""
+        return sorted(self._sessions)
+
+    @property
+    def profiled(self) -> list[str]:
+        """MACs whose profiling has completed."""
+        return sorted(self._profiled)
+
+    def is_profiling(self, mac: str) -> bool:
+        return mac in self._sessions
+
+    def is_profiled(self, mac: str) -> bool:
+        return mac in self._profiled
+
+    def ignore(self, mac: str) -> None:
+        """Never profile this MAC (e.g. the gateway's own interfaces)."""
+        self._ignore.add(mac)
+
+    def forget(self, mac: str) -> None:
+        """Drop all state for a device (it left the network)."""
+        self._sessions.pop(mac, None)
+        self._modes.pop(mac, None)
+        self._profiled.discard(mac)
+
+    def mark_profiled(self, mac: str) -> None:
+        """Record a device as already profiled without a capture session.
+
+        Used when enforcement state is provisioned out-of-band (e.g. the
+        performance experiments pre-authorize their measurement devices).
+        """
+        self._sessions.pop(mac, None)
+        self._modes.pop(mac, None)
+        self._profiled.add(mac)
+
+    def start_standby_profiling(self, mac: str) -> None:
+        """Re-profile an already-known device from its standby traffic.
+
+        Legacy-installation support (Sect. VIII-A): fingerprinting happens
+        after the device has long been connected, based on heartbeat /
+        normal-operation traffic instead of the setup dialogue.
+        """
+        self._profiled.discard(mac)
+        self._sessions[mac] = FingerprintExtractor(mac, detector=self._detector_factory())
+        self._modes[mac] = "standby"
+
+    # --- the observation path ----------------------------------------------
+
+    def observe(self, timestamp: float, packet: DecodedPacket) -> MonitorEvent | None:
+        """Feed one packet seen by the gateway; may complete a session."""
+        mac = packet.src_mac
+        if not mac or mac in self._ignore or mac in self._profiled:
+            return None
+        session = self._sessions.get(mac)
+        if session is None:
+            session = FingerprintExtractor(mac, detector=self._detector_factory())
+            self._sessions[mac] = session
+            self._modes[mac] = "setup"
+        if session.add(timestamp, packet):
+            return self._complete(mac)
+        return None
+
+    def flush(self, mac: str) -> MonitorEvent | None:
+        """Force-complete a session (e.g. gateway-side timeout sweep)."""
+        if mac not in self._sessions:
+            return None
+        self._sessions[mac].finish()
+        return self._complete(mac)
+
+    def _complete(self, mac: str) -> MonitorEvent:
+        session = self._sessions.pop(mac)
+        mode = self._modes.pop(mac)
+        self._profiled.add(mac)
+        fingerprint = session.fingerprint()
+        return MonitorEvent(
+            device_mac=mac,
+            fingerprint=fingerprint,
+            packet_count=len(fingerprint),
+            mode=mode,
+        )

@@ -1,0 +1,308 @@
+"""The IoT Sentinel controller module (the paper's custom Floodlight module).
+
+Responsibilities per Sect. V: network monitoring, fingerprint generation,
+communication with the IoT Security Service, and generation + enforcement
+of per-device isolation rules.  It sits first in the controller module
+chain; packets it does not claim fall through to plain L2 forwarding.
+
+Enforcement strategy: while a device is being profiled its traffic is
+forwarded normally but *no flow rules are installed*, so every packet
+keeps reaching the controller (that is the monitoring tap).  Once the
+IoTSSP returns an isolation level, each new flow triggers a policy check
+against the overlay manager and a specific allow- or drop-rule is pushed
+down, so subsequent packets of the flow are handled entirely in the data
+plane — "for any given flow, there is only one matching enforcement rule".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.sdn.controller import Controller, ControllerModule, Decision
+from repro.sdn.openflow import Action, FlowMatch, FlowRule, PacketIn
+from repro.sdn.overlay import IsolationLevel, OverlayManager, PolicyDecision
+from repro.sdn.rules import EnforcementRule, EnforcementRuleCache
+from repro.securityservice.protocol import FingerprintReport, IsolationDirective, Transport
+
+from .audit import AuditEventType, AuditLog
+from .monitor import DeviceMonitor, MonitorEvent
+
+__all__ = ["UserNotification", "SentinelModule"]
+
+#: Priority band for enforcement rules (above the learning switch's 10).
+_ENFORCE_PRIORITY = 100
+#: Idle timeout for installed per-flow rules, seconds.
+_FLOW_IDLE_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class UserNotification:
+    """Surfaced to the user for devices needing manual attention (III-C3)."""
+
+    device_mac: str
+    device_type: str
+    message: str
+
+
+class SentinelModule(ControllerModule):
+    """Monitoring + identification + enforcement, as one controller module."""
+
+    name = "iot-sentinel"
+
+    def __init__(
+        self,
+        *,
+        monitor: DeviceMonitor,
+        transport: Transport,
+        overlays: OverlayManager,
+        rule_cache: EnforcementRuleCache,
+        wan_port: int,
+        gateway_macs: set[str] | None = None,
+        notify: Callable[[UserNotification], None] | None = None,
+        audit: AuditLog | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.transport = transport
+        self.overlays = overlays
+        self.rule_cache = rule_cache
+        self.wan_port = wan_port
+        self.gateway_macs = set(gateway_macs or ())
+        self.notify = notify
+        self.audit = audit if audit is not None else AuditLog()
+        self.directives: dict[str, IsolationDirective] = {}
+        self.notifications: list[UserNotification] = []
+        self.policy_denials = 0
+        self._fingerprints: dict[str, object] = {}  # mac -> Fingerprint
+        self._directive_times: dict[str, float] = {}
+        #: MAC -> leased IPv4 address, learned by DHCP snooping.  Used for
+        #: source-address validation: a compromised device cannot spoof
+        #: another host's address past the gateway.
+        self.ip_bindings: dict[str, str] = {}
+        self.spoof_drops = 0
+        #: Devices the user was told to remove (Sect. III-C3).  The gateway
+        #: watches for further traffic to verify removal actually happened.
+        self.removal_pending: dict[str, float] = {}  # mac -> last seen
+
+    # --- profiling lifecycle ------------------------------------------------
+
+    def _on_profiled(self, event: MonitorEvent, *, now: float = 0.0) -> None:
+        directive = self.transport.submit(FingerprintReport(fingerprint=event.fingerprint))
+        self.directives[event.device_mac] = directive
+        self._fingerprints[event.device_mac] = event.fingerprint
+        self._directive_times[event.device_mac] = now
+        rule = EnforcementRule(
+            device_mac=event.device_mac,
+            level=directive.level,
+            permitted_ips=(
+                directive.permitted_endpoints
+                if directive.level is IsolationLevel.RESTRICTED
+                else frozenset()
+            ),
+        )
+        self.rule_cache.insert(rule)
+        self.overlays.assign(event.device_mac, directive.level, rule.permitted_ips)
+        self.audit.record(
+            now,
+            AuditEventType.DIRECTIVE_RECEIVED,
+            event.device_mac,
+            f"type={directive.device_type} level={directive.level.value}",
+        )
+        if directive.level is IsolationLevel.STRICT and self.notify is not None:
+            notification = UserNotification(
+                device_mac=event.device_mac,
+                device_type=directive.device_type,
+                message=(
+                    "Device could not be identified as a known safe type; "
+                    "it has been placed in strict isolation. If it has "
+                    "side channels (Bluetooth/LTE), remove it from the network."
+                ),
+            )
+            self.notifications.append(notification)
+            self.audit.record(
+                now, AuditEventType.USER_NOTIFIED, event.device_mac, notification.message
+            )
+            self.notify(notification)
+
+    def request_removal(self, mac: str, now: float = 0.0) -> None:
+        """Mark a device as pending physical removal by the user.
+
+        From then on any traffic from the device proves it is still
+        present; :meth:`removal_verified` answers whether it has gone
+        quiet for the requested interval.
+        """
+        self.removal_pending[mac] = now
+
+    def removal_verified(self, mac: str, now: float, *, quiet_for: float = 300.0) -> bool:
+        """Has the device stayed silent long enough to count as removed?"""
+        last_seen = self.removal_pending.get(mac)
+        if last_seen is None:
+            raise KeyError(f"{mac} has no pending removal")
+        return now - last_seen >= quiet_for
+
+    def refresh_directives(self, now: float, *, force: bool = False) -> list[str]:
+        """Re-query the IoTSSP for devices whose directive TTL expired.
+
+        Implements Sect. V's "this information can be updated by regular
+        update queries to the IoT Security Service".  Returns the MACs
+        whose isolation level or allow-list actually changed; their flow
+        rules must be flushed by the caller so new policy takes effect.
+        """
+        changed: list[str] = []
+        for mac, directive in list(self.directives.items()):
+            issued = self._directive_times.get(mac, 0.0)
+            if not force and now - issued < directive.ttl_seconds:
+                continue
+            fingerprint = self._fingerprints.get(mac)
+            if fingerprint is None:
+                continue
+            fresh = self.transport.submit(FingerprintReport(fingerprint=fingerprint))
+            self._directive_times[mac] = now
+            if (
+                fresh.level is directive.level
+                and fresh.permitted_endpoints == directive.permitted_endpoints
+            ):
+                self.directives[mac] = fresh
+                continue
+            self.directives[mac] = fresh
+            allowed = (
+                fresh.permitted_endpoints
+                if fresh.level is IsolationLevel.RESTRICTED
+                else frozenset()
+            )
+            self.rule_cache.insert(
+                EnforcementRule(device_mac=mac, level=fresh.level, permitted_ips=allowed)
+            )
+            self.overlays.assign(mac, fresh.level, allowed)
+            self.audit.record(
+                now,
+                AuditEventType.DIRECTIVE_REFRESHED,
+                mac,
+                f"{directive.level.value} -> {fresh.level.value}",
+            )
+            changed.append(mac)
+        return changed
+
+    # --- policy -> flow rules -----------------------------------------------
+
+    def _snoop_dhcp(self, event: PacketIn) -> None:
+        """Learn MAC→IP bindings from DHCP requests (requested-IP option)."""
+        packet = event.packet
+        if not packet.is_dhcp:
+            return
+        from repro.packets.dhcp import OPTION_REQUESTED_IP, DHCPMessage
+
+        message = packet.layer(DHCPMessage)
+        if message is None:
+            return
+        requested = message.option(OPTION_REQUESTED_IP)
+        if requested and len(requested) == 4:
+            self.ip_bindings[message.client_mac] = ".".join(str(b) for b in requested)
+
+    def _is_spoofed(self, packet) -> bool:
+        """True when a bound device sends from an address it does not own."""
+        binding = self.ip_bindings.get(packet.src_mac)
+        if binding is None or packet.src_ip is None:
+            return False
+        if packet.src_ip in ("0.0.0.0", binding):
+            return False
+        # Link-local v6 addresses are outside the v4 lease.
+        if ":" in packet.src_ip:
+            return False
+        return True
+
+    def _policy_for(self, event: PacketIn) -> PolicyDecision:
+        packet = event.packet
+        src = packet.src_mac
+        if self._is_spoofed(packet):
+            self.spoof_drops += 1
+            self.audit.record(
+                event.timestamp,
+                AuditEventType.SPOOF_DETECTED,
+                src,
+                f"claimed {packet.src_ip}, bound to {self.ip_bindings.get(src)}",
+            )
+            return PolicyDecision(False, f"source-address spoofing ({packet.src_ip})")
+        rule = self.rule_cache.lookup(src)
+        if rule is None:
+            return PolicyDecision(False, "no enforcement rule: default-deny")
+        # Flow-granular refinements take precedence over the device-level
+        # decision (Sect. V: filtering "up to the level of individual flows").
+        verdict = rule.flow_verdict(
+            is_tcp=packet.is_tcp,
+            is_udp=packet.is_udp,
+            dst_port=packet.dst_port,
+            dst_ip=packet.dst_ip,
+        )
+        if verdict is not None:
+            return PolicyDecision(verdict, "flow policy")
+        dst_ip = packet.dst_ip
+        if dst_ip is not None and not dst_ip.startswith(self.overlays.local_subnet_prefix):
+            if dst_ip.startswith(("224.", "239.", "255.", "ff02:")):
+                # Link-local multicast/broadcast stays inside the overlay.
+                return PolicyDecision(True, "local multicast")
+            return self.overlays.check_internet(src, dst_ip)
+        if packet.dst_mac in self.gateway_macs:
+            return PolicyDecision(True, "to gateway")
+        if packet.dst_mac and packet.dst_mac != "ff:ff:ff:ff:ff:ff":
+            return self.overlays.check_device_to_device(src, packet.dst_mac)
+        return PolicyDecision(True, "broadcast within overlay")
+
+    def _forward_actions(self, controller: Controller, event: PacketIn) -> tuple[Action, ...]:
+        packet = event.packet
+        dst_ip = packet.dst_ip
+        if dst_ip is not None and not dst_ip.startswith(self.overlays.local_subnet_prefix):
+            if not dst_ip.startswith(("224.", "239.", "255.", "ff02:")):
+                return (Action.output(self.wan_port),)
+        out_port = controller.switch.port_of(packet.dst_mac) if packet.dst_mac else None
+        if out_port is None or out_port == event.in_port:
+            return (Action.flood(),)
+        return (Action.output(out_port),)
+
+    # --- the module hook ------------------------------------------------------
+
+    def on_packet_in(self, controller: Controller, event: PacketIn) -> Decision | None:
+        packet = event.packet
+        src = packet.src_mac
+        if not src or src in self.gateway_macs or event.in_port == self.wan_port:
+            return None  # gateway/WAN traffic: let the learning switch handle it
+        if src in self.removal_pending:
+            # Still transmitting: removal has not happened; refresh the
+            # sighting and keep the device fully contained.
+            self.removal_pending[src] = event.timestamp
+            return Decision(actions=(Action.drop(),))
+        self._snoop_dhcp(event)
+        monitor_event = self.monitor.observe(event.timestamp, packet)
+        if monitor_event is not None:
+            self._on_profiled(monitor_event, now=event.timestamp)
+        if self.monitor.is_profiling(src) or not self.monitor.is_profiled(src):
+            # Still profiling: forward, but keep the controller in the path.
+            return Decision(actions=self._forward_actions(controller, event))
+        decision = self._policy_for(event)
+        # ip_src is pinned so a later source-spoofed packet cannot ride an
+        # allow rule installed for the device's legitimate address.
+        match = FlowMatch(
+            eth_src=src,
+            eth_dst=packet.dst_mac or None,
+            ip_src=packet.src_ip,
+            ip_dst=packet.dst_ip,
+            tp_dst=packet.dst_port,
+        )
+        if decision.allowed:
+            actions = self._forward_actions(controller, event)
+        else:
+            self.policy_denials += 1
+            self.audit.record(
+                event.timestamp,
+                AuditEventType.FLOW_DENIED,
+                src,
+                f"dst={packet.dst_ip or packet.dst_mac} reason={decision.reason}",
+            )
+            actions = (Action.drop(),)
+        rule = FlowRule(
+            match=match,
+            actions=actions,
+            priority=_ENFORCE_PRIORITY,
+            idle_timeout=_FLOW_IDLE_TIMEOUT,
+        )
+        return Decision(actions=actions, install=(rule,))

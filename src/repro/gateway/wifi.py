@@ -1,0 +1,127 @@
+"""WiFi credential management: device-specific WPA2-PSKs via WPS.
+
+Models Sect. III-A and the legacy-migration flow of Sect. VIII-A: every
+device gets its *own* PSK (so one compromised device cannot eavesdrop on
+or impersonate the others), keys are bound to an overlay (trusted /
+untrusted), and WPS re-keying moves clean legacy devices from the shared
+legacy PSK into the trusted overlay.  Cryptography is modelled as opaque
+high-entropy strings — the enforcement logic only needs key identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["Credential", "WPSRegistrar", "LegacyMigration"]
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A device-specific WPA2-PSK bound to a network overlay."""
+
+    device_mac: str
+    psk: str
+    overlay: str  # "trusted" or "untrusted"
+    generation: int = 0
+
+
+class WPSRegistrar:
+    """Issues and rotates device-specific PSKs."""
+
+    def __init__(self, seed: str = "iot-sentinel") -> None:
+        self._seed = seed
+        self._credentials: dict[str, Credential] = {}
+        self._generations: dict[str, int] = {}
+
+    def _derive(self, mac: str, overlay: str, generation: int) -> str:
+        material = f"{self._seed}|{mac}|{overlay}|{generation}"
+        return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+    def provision(self, mac: str, overlay: str = "untrusted") -> Credential:
+        """Issue a PSK for a device joining via WPS (or manual setup)."""
+        if overlay not in ("trusted", "untrusted"):
+            raise ValueError(f"unknown overlay {overlay!r}")
+        generation = self._generations.get(mac, -1) + 1
+        self._generations[mac] = generation
+        credential = Credential(
+            device_mac=mac,
+            psk=self._derive(mac, overlay, generation),
+            overlay=overlay,
+            generation=generation,
+        )
+        self._credentials[mac] = credential
+        return credential
+
+    def rekey(self, mac: str, overlay: str) -> Credential:
+        """WPS re-keying: rotate the PSK, possibly changing overlay."""
+        if mac not in self._credentials:
+            raise KeyError(f"no credential for {mac}")
+        return self.provision(mac, overlay)
+
+    def revoke(self, mac: str) -> None:
+        if mac not in self._credentials:
+            raise KeyError(f"no credential for {mac}")
+        del self._credentials[mac]
+
+    def credential_of(self, mac: str) -> Credential | None:
+        return self._credentials.get(mac)
+
+    def authenticate(self, mac: str, psk: str) -> bool:
+        """Would the AP accept this MAC/PSK pair right now?"""
+        credential = self._credentials.get(mac)
+        return credential is not None and credential.psk == psk
+
+
+class LegacyMigration:
+    """The Sect. VIII-A migration of a legacy WPA2-Personal network.
+
+    All legacy devices start in the untrusted overlay under the shared
+    PSK.  After identification, devices without known vulnerabilities are
+    re-keyed into the trusted overlay (if they support WPS re-keying);
+    devices that cannot re-key either stay untrusted on the old PSK or are
+    cut off when the shared PSK is deprecated.
+    """
+
+    def __init__(self, registrar: WPSRegistrar, legacy_psk: str = "legacy-shared-psk") -> None:
+        self.registrar = registrar
+        self.legacy_psk = legacy_psk
+        self.legacy_psk_deprecated = False
+        self._legacy_members: set[str] = set()
+
+    def enroll_legacy(self, mac: str) -> None:
+        """Register a device as part of the pre-existing installation."""
+        self._legacy_members.add(mac)
+
+    @property
+    def legacy_members(self) -> list[str]:
+        return sorted(self._legacy_members)
+
+    def migrate(self, mac: str, *, clean: bool, supports_rekeying: bool) -> str:
+        """Migrate one legacy device; returns its final disposition.
+
+        Returns one of ``"trusted"``, ``"untrusted"``, ``"disconnected"``.
+        """
+        if mac not in self._legacy_members:
+            raise KeyError(f"{mac} is not a legacy member")
+        if clean and supports_rekeying:
+            self.registrar.provision(mac, "trusted")
+            self._legacy_members.discard(mac)
+            return "trusted"
+        if not clean:
+            # Vulnerable devices remain strictly in the untrusted overlay.
+            self.registrar.provision(mac, "untrusted")
+            self._legacy_members.discard(mac)
+            return "untrusted"
+        # Clean but cannot re-key: fate depends on the shared PSK.
+        if self.legacy_psk_deprecated:
+            self._legacy_members.discard(mac)
+            return "disconnected"
+        return "untrusted"
+
+    def deprecate_legacy_psk(self) -> list[str]:
+        """Kill the shared PSK; returns devices that lose connectivity."""
+        self.legacy_psk_deprecated = True
+        dropped = sorted(self._legacy_members)
+        self._legacy_members.clear()
+        return dropped

@@ -1,0 +1,23 @@
+"""Lab tooling: the data-collection machinery of Sect. VI-A.
+
+The paper's corpus came from a controlled campaign: a scripted UI walked a
+test person through each device's vendor-manual setup, the gateway's
+tcpdump recorded everything, and a hard reset returned the device to
+factory state between the 20 runs.  This package reproduces that pipeline
+against the simulated devices: human-readable setup scripts derived from
+each profile, a campaign runner that writes per-run pcaps, and a dataset
+manifest for provenance.
+"""
+
+from .instructions import SetupInstruction, setup_script
+from .manifest import DatasetManifest, RunRecord, load_manifest
+from .session import CollectionCampaign
+
+__all__ = [
+    "CollectionCampaign",
+    "DatasetManifest",
+    "RunRecord",
+    "SetupInstruction",
+    "load_manifest",
+    "setup_script",
+]

@@ -1,0 +1,93 @@
+"""Scripted setup instructions per device type.
+
+"Data collection was controlled by a scripted UI showing the test person
+performing the device setup process the necessary step-by-step
+instructions" (Sect. VI-A).  The steps are derived from each profile's
+connectivity and dialogue — the same sources a test script compiled from
+the printed manual would reflect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.profiles import DeviceProfile
+
+__all__ = ["SetupInstruction", "setup_script"]
+
+
+@dataclass(frozen=True)
+class SetupInstruction:
+    """One step shown to the test person."""
+
+    number: int
+    text: str
+    expects_traffic: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.number}. {self.text}"
+
+
+def _uses(profile: DeviceProfile, kind: str) -> bool:
+    return any(s.kind == kind for s in profile.dialogue.steps)
+
+
+def setup_script(profile: DeviceProfile) -> list[SetupInstruction]:
+    """The step-by-step setup procedure for one device type."""
+    steps: list[str | tuple[str, bool]] = []
+    steps.append(f"Unbox and power on the {profile.model}.")
+    connectivity = profile.connectivity
+    if connectivity.wifi and not connectivity.ethernet:
+        steps.append(
+            "Install the vendor app on the test smartphone and start the "
+            "device-addition flow."
+        )
+        steps.append(
+            "Connect the phone to the device's temporary ad-hoc access "
+            "point when prompted, and transmit the lab WiFi credentials."
+        )
+        steps.append(
+            ("Wait for the device to reset and join the lab WiFi; confirm "
+             "the WPA2 handshake and DHCP exchange appear in the capture.", True)
+        )
+    elif connectivity.ethernet:
+        steps.append("Connect the device to the gateway's Ethernet port.")
+        steps.append(
+            ("Confirm the DHCP exchange appears in the capture.", True)
+        )
+    else:
+        steps.append(
+            "Pair the device with its bridge/gateway per the vendor manual "
+            "(out-of-band radio); the bridge proxies its network traffic."
+        )
+        steps.append(("Confirm proxied announcements appear in the capture.", True))
+    if connectivity.zigbee or connectivity.zwave:
+        steps.append(
+            "If the device manages sub-devices (ZigBee/Z-Wave), wait for "
+            "its radio initialization to finish."
+        )
+    if _uses(profile, "ssdp_notify") or _uses(profile, "mdns_announce"):
+        steps.append(
+            ("Wait for the device's service announcements (SSDP/mDNS).", True)
+        )
+    if _uses(profile, "https") or _uses(profile, "http_get") or _uses(profile, "http_post"):
+        steps.append(
+            ("Complete any cloud-account registration the vendor app "
+             "requires; confirm the cloud connection in the capture.", True)
+        )
+    steps.append(
+        "Verify the device functions (toggle/measure once), then stop "
+        "interaction and let the traffic settle."
+    )
+    steps.append(
+        "After the capture closes: hard-reset the device to factory "
+        "settings per the manual before the next run."
+    )
+    out = []
+    for index, entry in enumerate(steps, start=1):
+        if isinstance(entry, tuple):
+            text, expects = entry
+        else:
+            text, expects = entry, False
+        out.append(SetupInstruction(number=index, text=text, expects_traffic=expects))
+    return out

@@ -1,0 +1,96 @@
+"""Dataset manifest: provenance for a collection campaign.
+
+One JSON document per dataset directory records, for every run, the
+device type, instance MAC, seed material, capture file, packet count and
+duration — enough to audit or exactly regenerate any fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["RunRecord", "DatasetManifest", "load_manifest"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Provenance of one setup-run capture."""
+
+    device_type: str
+    run_index: int
+    mac: str
+    pcap_path: str
+    packet_count: int
+    duration_seconds: float
+    bidirectional: bool
+
+
+@dataclass
+class DatasetManifest:
+    """All runs of one campaign plus campaign-level metadata."""
+
+    seed: int | None = None
+    runs_per_device: int = 0
+    runs: list[RunRecord] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        self.runs.append(record)
+
+    @property
+    def device_types(self) -> list[str]:
+        return sorted({run.device_type for run in self.runs})
+
+    def runs_for(self, device_type: str) -> list[RunRecord]:
+        return [run for run in self.runs if run.device_type == device_type]
+
+    def summary(self) -> dict:
+        return {
+            "device_types": len(self.device_types),
+            "total_runs": len(self.runs),
+            "total_packets": sum(run.packet_count for run in self.runs),
+        }
+
+    def validate(self, root: str | Path) -> list[str]:
+        """Return human-readable problems (missing files, count mismatches)."""
+        root = Path(root)
+        problems = []
+        for run in self.runs:
+            path = root / run.pcap_path
+            if not path.exists():
+                problems.append(f"missing capture {run.pcap_path}")
+                continue
+            from repro.packets import read_capture
+
+            capture = read_capture(path)
+            if len(capture) != run.packet_count:
+                problems.append(
+                    f"{run.pcap_path}: {len(capture)} packets on disk, "
+                    f"manifest says {run.packet_count}"
+                )
+        expected = self.runs_per_device * len(self.device_types)
+        if self.runs_per_device and len(self.runs) != expected:
+            problems.append(f"{len(self.runs)} runs recorded, expected {expected}")
+        return problems
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "seed": self.seed,
+            "runs_per_device": self.runs_per_device,
+            "runs": [asdict(run) for run in self.runs],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_manifest(path: str | Path) -> DatasetManifest:
+    payload = json.loads(Path(path).read_text())
+    manifest = DatasetManifest(
+        seed=payload.get("seed"), runs_per_device=payload.get("runs_per_device", 0)
+    )
+    for run in payload["runs"]:
+        manifest.add(RunRecord(**run))
+    return manifest

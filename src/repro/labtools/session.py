@@ -1,0 +1,93 @@
+"""Collection campaign runner: the Sect. VI-A loop, automated.
+
+For each device type × run: simulate the hard-reset fresh instance, play
+its setup dialogue (optionally with the environment's responses merged
+in), write the capture to disk, and record provenance in the manifest.
+Campaigns are resumable: existing runs are kept and skipped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.devices.dataset import simulate_setup_capture
+from repro.devices.profiles import DEVICE_PROFILES, DeviceProfile
+from repro.devices.responder import bidirectional_capture
+from repro.packets import write_pcap
+
+from .manifest import DatasetManifest, RunRecord, load_manifest
+
+__all__ = ["CollectionCampaign"]
+
+_MANIFEST_NAME = "manifest.json"
+
+
+class CollectionCampaign:
+    """Runs a data-collection campaign into a dataset directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        profiles: Sequence[DeviceProfile] = DEVICE_PROFILES,
+        runs_per_device: int = 20,
+        seed: int | None = None,
+        bidirectional: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.profiles = list(profiles)
+        self.runs_per_device = runs_per_device
+        self.seed = seed
+        self.bidirectional = bidirectional
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    def _existing(self) -> DatasetManifest:
+        if self.manifest_path.exists():
+            return load_manifest(self.manifest_path)
+        return DatasetManifest(seed=self.seed, runs_per_device=self.runs_per_device)
+
+    def setup_scripts(self) -> dict[str, list]:
+        """The per-type instruction scripts for the campaign's devices."""
+        from .instructions import setup_script
+
+        return {profile.identifier: setup_script(profile) for profile in self.profiles}
+
+    def run(self) -> DatasetManifest:
+        """Execute (or resume) the campaign; returns the final manifest."""
+        manifest = self._existing()
+        done = {(run.device_type, run.run_index) for run in manifest.runs}
+        rng = np.random.default_rng(self.seed)
+        for profile in self.profiles:
+            type_dir = self.root / profile.identifier
+            type_dir.mkdir(parents=True, exist_ok=True)
+            for run_index in range(self.runs_per_device):
+                # The RNG must advance identically whether or not the run
+                # is skipped, so resumed campaigns stay reproducible.
+                mac, records = simulate_setup_capture(profile, rng)
+                if (profile.identifier, run_index) in done:
+                    continue
+                if self.bidirectional:
+                    records = bidirectional_capture(records)
+                relative = f"{profile.identifier}/run_{run_index:02d}.pcap"
+                write_pcap(self.root / relative, records)
+                duration = records[-1].timestamp - records[0].timestamp if records else 0.0
+                manifest.add(
+                    RunRecord(
+                        device_type=profile.identifier,
+                        run_index=run_index,
+                        mac=mac,
+                        pcap_path=relative,
+                        packet_count=len(records),
+                        duration_seconds=round(duration, 6),
+                        bidirectional=self.bidirectional,
+                    )
+                )
+        manifest.runs.sort(key=lambda run: (run.device_type, run.run_index))
+        manifest.save(self.manifest_path)
+        return manifest

@@ -1,0 +1,23 @@
+"""ML substrate: CART trees, Random Forests, sampling, metrics, CV.
+
+A from-scratch replacement for the slice of scikit-learn the paper's
+identification pipeline needs (Random Forest classification [23],
+imbalance-aware sampling [22], stratified cross-validation).
+"""
+
+from .forest import RandomForestClassifier
+from .metrics import accuracy_score, confusion_matrix, per_class_accuracy
+from .sampling import build_binary_training_set, negative_subsample
+from .tree import DecisionTreeClassifier
+from .validation import stratified_kfold
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "accuracy_score",
+    "build_binary_training_set",
+    "confusion_matrix",
+    "negative_subsample",
+    "per_class_accuracy",
+    "stratified_kfold",
+]

@@ -1,0 +1,51 @@
+"""Gini feature importance for trees and forests.
+
+Lets an operator ask *which of the 23 Table-I features (at which packet
+position) the classifier bank actually keys on* — useful both for sanity
+(payload-free features only) and for the paper's observation that
+behavioural structure, not any single field, drives identification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .forest import RandomForestClassifier
+from .tree import DecisionTreeClassifier, _Node
+
+__all__ = ["tree_feature_importance", "forest_feature_importance"]
+
+
+def _walk(node: _Node, counts: np.ndarray) -> None:
+    if node.is_leaf:
+        return
+    counts[node.feature] += 1.0
+    assert node.left is not None and node.right is not None
+    _walk(node.left, counts)
+    _walk(node.right, counts)
+
+
+def tree_feature_importance(tree: DecisionTreeClassifier, n_features: int) -> np.ndarray:
+    """Split-count importance per feature, normalized to sum to 1.
+
+    (Split counts rather than impurity-decrease keep the computation
+    independent of retained training data; for shallow fingerprint trees
+    the two rank features nearly identically.)
+    """
+    if tree._root is None:
+        raise ValueError("tree is not fitted")
+    counts = np.zeros(n_features)
+    _walk(tree._root, counts)
+    total = counts.sum()
+    return counts / total if total > 0 else counts
+
+
+def forest_feature_importance(
+    forest: RandomForestClassifier, n_features: int
+) -> np.ndarray:
+    """Mean per-tree importance across the ensemble."""
+    if not forest.trees_:
+        raise ValueError("forest is not fitted")
+    return np.mean(
+        [tree_feature_importance(tree, n_features) for tree in forest.trees_], axis=0
+    )

@@ -1,0 +1,54 @@
+"""Evaluation metrics: accuracy, per-class accuracy, confusion matrices."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "per_class_accuracy"]
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of predictions matching the ground truth."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch")
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence | None = None
+) -> tuple[np.ndarray, list]:
+    """Count matrix ``M[actual, predicted]`` plus the label order used.
+
+    ``labels`` fixes row/column order (and admits predicted labels that
+    never occur as ground truth, e.g. the "unknown device" outcome).
+    """
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch")
+    if labels is None:
+        labels = sorted(set(y_true) | set(y_pred), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for actual, predicted in zip(y_true, y_pred):
+        matrix[index[actual], index[predicted]] += 1
+    return matrix, list(labels)
+
+
+def per_class_accuracy(y_true: Sequence, y_pred: Sequence) -> dict:
+    """Ratio of correct identification per ground-truth class (Fig. 5)."""
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    totals: dict = {}
+    correct: dict = {}
+    for actual, predicted in zip(y_true, y_pred):
+        totals[actual] = totals.get(actual, 0) + 1
+        if actual == predicted:
+            correct[actual] = correct.get(actual, 0) + 1
+    return {label: correct.get(label, 0) / count for label, count in totals.items()}

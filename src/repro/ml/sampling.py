@@ -1,0 +1,47 @@
+"""Class-imbalance-aware negative sampling (Sect. IV-B.1 / [22]).
+
+When training the binary classifier for device type ``D_i``, the paper
+uses *all* ``n`` positive fingerprints and only ``10·n`` fingerprints drawn
+from the complement set, to avoid imbalanced-class learning issues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["negative_subsample", "build_binary_training_set"]
+
+
+def negative_subsample(
+    negatives: np.ndarray,
+    n_positive: int,
+    *,
+    ratio: int = 10,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Select ``min(ratio * n_positive, len(negatives))`` negative rows."""
+    if n_positive < 1:
+        raise ValueError("need at least one positive sample")
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    rng = rng or np.random.default_rng()
+    target = min(ratio * n_positive, len(negatives))
+    indices = rng.choice(len(negatives), size=target, replace=False)
+    return negatives[indices]
+
+
+def build_binary_training_set(
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    *,
+    ratio: int = 10,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble the (x, y) matrix for one device-type classifier.
+
+    Returns features and a boolean label vector (True = the target type).
+    """
+    sampled = negative_subsample(negatives, len(positives), ratio=ratio, rng=rng)
+    x = np.vstack([positives, sampled])
+    y = np.concatenate([np.ones(len(positives), bool), np.zeros(len(sampled), bool)])
+    return x, y

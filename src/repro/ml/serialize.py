@@ -1,0 +1,93 @@
+"""JSON-safe serialization for trees and forests.
+
+A deployed IoTSSP trains classifiers in the lab and ships them to serving
+instances; these helpers give every model a stable dict form (nested plain
+types only) that round-trips through ``json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .forest import RandomForestClassifier
+from .tree import DecisionTreeClassifier, _Node
+
+__all__ = ["tree_to_dict", "tree_from_dict", "forest_to_dict", "forest_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: _Node) -> dict:
+    if node.is_leaf:
+        assert node.probabilities is not None
+        return {"leaf": [float(p) for p in node.probabilities]}
+    assert node.left is not None and node.right is not None
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: dict) -> _Node:
+    if "leaf" in data:
+        return _Node(probabilities=np.asarray(data["leaf"], dtype=np.float64))
+    return _Node(
+        feature=int(data["feature"]),
+        threshold=float(data["threshold"]),
+        left=_node_from_dict(data["left"]),
+        right=_node_from_dict(data["right"]),
+    )
+
+
+def _classes_to_list(classes: np.ndarray) -> list:
+    out = []
+    for value in classes:
+        if isinstance(value, (np.bool_, bool)):
+            out.append(bool(value))
+        elif isinstance(value, (np.integer, int)):
+            out.append(int(value))
+        elif isinstance(value, (np.floating, float)):
+            out.append(float(value))
+        else:
+            out.append(str(value))
+    return out
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> dict:
+    """Serialize a fitted tree (structure + class order)."""
+    if tree._root is None or tree.classes_ is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    return {
+        "version": _FORMAT_VERSION,
+        "classes": _classes_to_list(tree.classes_),
+        "root": _node_to_dict(tree._root),
+    }
+
+
+def tree_from_dict(data: dict) -> DecisionTreeClassifier:
+    """Rebuild a fitted tree; hyper-parameters are irrelevant post-fit."""
+    tree = DecisionTreeClassifier()
+    tree.classes_ = np.asarray(data["classes"])
+    tree._root = _node_from_dict(data["root"])
+    return tree
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> dict:
+    """Serialize a fitted forest (all member trees + class order)."""
+    if not forest.trees_ or forest.classes_ is None:
+        raise ValueError("cannot serialize an unfitted forest")
+    return {
+        "version": _FORMAT_VERSION,
+        "classes": _classes_to_list(forest.classes_),
+        "trees": [tree_to_dict(tree) for tree in forest.trees_],
+    }
+
+
+def forest_from_dict(data: dict) -> RandomForestClassifier:
+    """Rebuild a fitted forest ready for :meth:`predict_proba`."""
+    forest = RandomForestClassifier(n_estimators=max(1, len(data["trees"])))
+    forest.classes_ = np.asarray(data["classes"])
+    forest.trees_ = [tree_from_dict(t) for t in data["trees"]]
+    return forest

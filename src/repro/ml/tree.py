@@ -1,0 +1,213 @@
+"""CART decision tree (gini impurity, binary splits) on numpy arrays.
+
+This is the base learner for :mod:`repro.ml.forest`, implementing the
+classification tree of Breiman's Random Forests [23] that the paper uses
+for its one-classifier-per-device-type bank.  Features are numeric (the
+fingerprint vectors are binary/integer); splits are of the form
+``x[feature] <= threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    probabilities: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.probabilities is not None
+
+
+def _gini_from_counts(counts: np.ndarray, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    fractions = counts / total
+    return 1.0 - float(np.dot(fractions, fractions))
+
+
+def _best_split(
+    x_sorted_col: np.ndarray,
+    y_sorted: np.ndarray,
+    n_classes: int,
+) -> tuple[float, float]:
+    """Best (threshold, gini-weighted impurity) for one pre-sorted column.
+
+    Scans the prefix class counts so each candidate threshold is evaluated
+    in O(classes) after an O(n log n) sort.
+    """
+    n = len(y_sorted)
+    one_hot = np.zeros((n, n_classes))
+    one_hot[np.arange(n), y_sorted] = 1.0
+    prefix = np.cumsum(one_hot, axis=0)
+    total = prefix[-1]
+    # Candidate split positions: where consecutive values differ.
+    diffs = np.nonzero(np.diff(x_sorted_col) > 1e-12)[0]
+    if len(diffs) == 0:
+        return np.nan, np.inf
+    left_counts = prefix[diffs]
+    left_sizes = diffs + 1.0
+    right_counts = total - left_counts
+    right_sizes = n - left_sizes
+    left_frac = left_counts / left_sizes[:, None]
+    right_frac = right_counts / right_sizes[:, None]
+    left_gini = 1.0 - np.einsum("ij,ij->i", left_frac, left_frac)
+    right_gini = 1.0 - np.einsum("ij,ij->i", right_frac, right_frac)
+    weighted = (left_sizes * left_gini + right_sizes * right_gini) / n
+    best = int(np.argmin(weighted))
+    position = diffs[best]
+    threshold = (x_sorted_col[position] + x_sorted_col[position + 1]) / 2.0
+    return float(threshold), float(weighted[best])
+
+
+class DecisionTreeClassifier:
+    """A CART classifier supporting random feature subsets per split.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit; ``None`` grows until pure or ``min_samples_split``.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    max_features:
+        Number of candidate features per split (``None`` = all,
+        ``"sqrt"`` = ⌈√d⌉, or an int).
+    random_state:
+        Seed or :class:`numpy.random.Generator` for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: int | str | None = "sqrt",
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+        self._root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.ceil(np.sqrt(n_features))))
+        count = int(self.max_features)
+        if count < 1 or count > n_features:
+            raise ValueError(f"max_features {count} out of range 1..{n_features}")
+        return count
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError("x must be a 2-D array")
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if len(x) == 0:
+            raise ValueError("cannot fit an empty dataset")
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        k_features = self._resolve_max_features(x.shape[1])
+        self._root = self._grow(x, y_encoded, n_classes, k_features, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray, n_classes: int) -> _Node:
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        return _Node(probabilities=counts / counts.sum())
+
+    def _grow(
+        self, x: np.ndarray, y: np.ndarray, n_classes: int, k_features: int, depth: int
+    ) -> _Node:
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or _gini_from_counts(counts, counts.sum()) == 0.0
+        ):
+            return self._leaf(y, n_classes)
+        candidates = self._rng.choice(x.shape[1], size=k_features, replace=False)
+        best_feature, best_threshold, best_score = -1, np.nan, np.inf
+        for feature in candidates:
+            order = np.argsort(x[:, feature], kind="stable")
+            threshold, score = _best_split(x[order, feature], y[order], n_classes)
+            if score < best_score:
+                best_feature, best_threshold, best_score = int(feature), threshold, score
+        if best_feature < 0 or not np.isfinite(best_score):
+            return self._leaf(y, n_classes)
+        mask = x[:, best_feature] <= best_threshold
+        if not mask.any() or mask.all():
+            return self._leaf(y, n_classes)
+        return _Node(
+            feature=best_feature,
+            threshold=best_threshold,
+            left=self._grow(x[mask], y[mask], n_classes, k_features, depth + 1),
+            right=self._grow(x[~mask], y[~mask], n_classes, k_features, depth + 1),
+        )
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities per row.
+
+        Traversal is batched: each node routes an index *array* left/right
+        with one vectorized comparison, so cost scales with tree size
+        rather than rows × depth of Python-level work.
+        """
+        if self._root is None or self.classes_ is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be a 2-D array")
+        out = np.empty((len(x), len(self.classes_)))
+        if len(x) == 0:
+            return out
+        stack: list[tuple[_Node, np.ndarray]] = [(self._root, np.arange(len(x)))]
+        while stack:
+            node, indices = stack.pop()
+            if node.is_leaf:
+                out[indices] = node.probabilities
+                continue
+            assert node.left is not None and node.right is not None
+            mask = x[indices, node.feature] <= node.threshold
+            left_indices = indices[mask]
+            right_indices = indices[~mask]
+            if len(left_indices):
+                stack.append((node.left, left_indices))
+            if len(right_indices):
+                stack.append((node.right, right_indices))
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(x)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a bare leaf)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

@@ -1,0 +1,54 @@
+"""Optional 802.11 airtime-contention model.
+
+The Fig. 4 testbed puts every client on one WiFi channel; as concurrent
+flows grow, medium contention (CSMA/CA backoff, retransmissions) adds
+per-hop delay beyond gateway queueing.  The base experiments leave this
+off — the paper's Fig. 6a shows the effect is minor on their channel —
+but the model is available for what-if studies on busier networks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["AirtimeMeter", "ContentionModel"]
+
+
+@dataclass
+class AirtimeMeter:
+    """Sliding-window packets-per-second estimate on the wireless medium."""
+
+    window: float = 1.0
+    _events: deque = field(default_factory=deque)
+
+    def record(self, now: float) -> None:
+        self._events.append(now)
+        self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        while self._events and now - self._events[0] > self.window:
+            self._events.popleft()
+
+    def rate(self, now: float) -> float:
+        """Recent wireless packet rate (packets/second)."""
+        self._trim(now)
+        return len(self._events) / self.window
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Extra one-way WiFi delay as a function of channel load.
+
+    Linear in offered load up to ``saturation_pps``, then clamped — a
+    first-order stand-in for CSMA/CA backoff growth.  Defaults sized for
+    an 802.11n channel: ~2 µs of added airtime wait per queued packet per
+    second of load, saturating around 4000 pps.
+    """
+
+    per_pps_delay: float = 2e-6
+    saturation_pps: float = 4000.0
+
+    def extra_delay(self, rate_pps: float) -> float:
+        effective = min(max(rate_pps, 0.0), self.saturation_pps)
+        return effective * self.per_pps_delay

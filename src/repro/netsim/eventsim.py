@@ -1,0 +1,61 @@
+"""A small discrete-event simulation engine.
+
+Deterministic heap-based scheduler used by the enforcement-overhead
+experiments (Table V / VI, Fig. 6) to model packet arrivals, gateway
+queueing and probe traffic on a common virtual clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Priority-queue event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_run = 0
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule_at(self.now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to (and including) ``end_time``."""
+        while self._queue and self._queue[0][0] <= end_time:
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            self.events_run += 1
+            callback()
+        self.now = max(self.now, end_time)
+
+    def run_all(self, *, max_events: int | None = None) -> None:
+        """Drain the queue entirely (bounded by ``max_events`` if given)."""
+        count = 0
+        while self._queue:
+            if max_events is not None and count >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            self.events_run += 1
+            callback()
+            count += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

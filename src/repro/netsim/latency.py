@@ -1,0 +1,49 @@
+"""Link and processing latency models, calibrated to the paper's testbed.
+
+The evaluation hardware was a Raspberry Pi 2 acting as AP/gateway with
+WiFi clients (D1–D4), a wired local server and an Amazon EC2 remote
+server.  One-way hop latencies below are chosen so that unloaded RTTs land
+in the ranges Table V reports (client↔client ≈ 25–28 ms, client↔local
+server ≈ 15–18 ms, client↔remote ≈ 20 ms); the *filtering overhead* is not
+encoded anywhere — it emerges from the gateway mechanism (rule lookups and
+first-packet controller punts) in :mod:`repro.netsim.gatewaymodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HopModel", "LinkProfile", "DEFAULT_LINKS"]
+
+
+@dataclass(frozen=True)
+class HopModel:
+    """One-way latency distribution of a single hop (lognormal-ish)."""
+
+    mean: float  # seconds
+    jitter: float  # standard deviation, seconds
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = rng.normal(self.mean, self.jitter)
+        # Latency cannot drop below a quarter of the mean (physical floor).
+        return max(value, self.mean * 0.25)
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Hop models for the three media in the lab setup (Fig. 4)."""
+
+    wifi: HopModel = HopModel(mean=6.2e-3, jitter=0.45e-3)
+    ethernet: HopModel = HopModel(mean=1.6e-3, jitter=0.25e-3)
+    wan: HopModel = HopModel(mean=4.1e-3, jitter=1.1e-3)
+
+    def hop(self, medium: str) -> HopModel:
+        try:
+            return {"wifi": self.wifi, "eth0": self.ethernet, "wan": self.wan}[medium]
+        except KeyError:
+            raise ValueError(f"unknown medium {medium!r}") from None
+
+
+DEFAULT_LINKS = LinkProfile()

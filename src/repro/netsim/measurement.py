@@ -1,0 +1,102 @@
+"""RTT probes through the simulated gateway (the Table V methodology).
+
+A probe is a real ICMP echo request frame from the source host, processed
+by the actual gateway data plane inside the queueing model, delivered over
+the destination's link, answered, and timed end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.packets import builder
+
+from .gatewaymodel import SimulatedGateway
+from .latency import DEFAULT_LINKS, LinkProfile
+from .topology import LabTopology, SimHost
+
+__all__ = ["LatencyProbe", "measure_rtt"]
+
+#: Time the probed endpoint takes to turn a request into a reply.
+_SERVER_TURNAROUND = 0.25e-3
+
+
+class LatencyProbe:
+    """Measures RTT between two hosts of a :class:`LabTopology`."""
+
+    def __init__(
+        self,
+        topology: LabTopology,
+        simgw: SimulatedGateway,
+        *,
+        links: LinkProfile = DEFAULT_LINKS,
+        rng: np.random.Generator | None = None,
+        airtime=None,  # AirtimeMeter, shared with the flow load generator
+        contention=None,  # ContentionModel
+    ) -> None:
+        self.topology = topology
+        self.simgw = simgw
+        self.links = links
+        self.rng = rng or np.random.default_rng()
+        self.airtime = airtime
+        self.contention = contention
+
+    def _one_way(self, host: SimHost) -> float:
+        delay = self.links.hop(host.medium).sample(self.rng)
+        if host.medium == "wifi" and self.airtime is not None and self.contention is not None:
+            delay += self.contention.extra_delay(self.airtime.rate(self.simgw.scheduler.now))
+        return delay
+
+    def _gateway_pass(self, src: SimHost, dst: SimHost, ident: int, seq: int) -> float:
+        """Push one echo frame through the real data plane; returns delay.
+
+        Frames are L2-addressed to the destination host (bridged-AP
+        semantics; for the remote server, its MAC stands in for the
+        next-hop modem the gateway bridges to).
+        """
+        frame = builder.icmp_echo_request_frame(src.mac, dst.mac, src.ip, dst.ip, ident, seq)
+        _result, delay = self.simgw.submit(None if src.is_remote else src.mac, frame)
+        return delay
+
+    def rtt(self, src_name: str, dst_name: str, seq: int = 1) -> float:
+        """One round-trip time sample, seconds.
+
+        Simulated time advances through each leg, so the request and the
+        reply see the gateway queue as it actually is at their arrival
+        instants (concurrent background flows inflate the wait).
+        """
+        scheduler = self.simgw.scheduler
+        src = self.topology.host(src_name)
+        dst = self.topology.host(dst_name)
+        start = scheduler.now
+        scheduler.run_until(start + self._one_way(src))  # src -> gateway
+        forward_gw = self._gateway_pass(src, dst, ident=seq, seq=seq)
+        scheduler.run_until(scheduler.now + forward_gw + self._one_way(dst))
+        scheduler.run_until(scheduler.now + _SERVER_TURNAROUND)
+        scheduler.run_until(scheduler.now + self._one_way(dst))  # dst -> gateway
+        reverse_gw = self._gateway_pass(dst, src, ident=seq, seq=seq + 1)
+        scheduler.run_until(scheduler.now + reverse_gw + self._one_way(src))
+        return scheduler.now - start
+
+
+def measure_rtt(
+    probe: LatencyProbe,
+    src: str,
+    dst: str,
+    iterations: int = 15,
+    *,
+    interval: float = 1.0,
+) -> tuple[float, float]:
+    """Mean and standard deviation of ``iterations`` RTT samples, in ms.
+
+    Samples are spaced ``interval`` seconds apart like a normal ``ping``
+    run, letting the gateway queue drain (or background load churn)
+    between probes.
+    """
+    scheduler = probe.simgw.scheduler
+    samples = []
+    for i in range(iterations):
+        samples.append(probe.rtt(src, dst, seq=i + 1))
+        scheduler.run_until(scheduler.now + interval)
+    data = np.array(samples)
+    return float(data.mean() * 1e3), float(data.std(ddof=1) * 1e3)

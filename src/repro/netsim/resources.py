@@ -1,0 +1,34 @@
+"""Gateway memory accounting (the Fig. 6c measurement).
+
+Memory is the sum of a platform baseline (OS, Open vSwitch, the Floodlight
+controller JVM on the Raspberry Pi 2) plus the actual sizes of the two
+rule stores the mechanism maintains: the enforcement-rule cache (hash
+table, Sect. V) and the installed flow-table entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gateway.gateway import SecurityGateway
+
+__all__ = ["MemoryModel"]
+
+#: Approximate resident bytes per installed flow-table entry.
+_FLOW_RULE_BYTES = 160
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Computes gateway memory consumption in MB."""
+
+    baseline_mb: float = 41.0
+    filtering_baseline_mb: float = 1.6  # sentinel module structures
+
+    def memory_mb(self, gateway: SecurityGateway) -> float:
+        total = self.baseline_mb
+        total += len(gateway.switch.table) * _FLOW_RULE_BYTES / 1e6
+        if gateway.filtering:
+            total += self.filtering_baseline_mb
+            total += gateway.rule_cache.memory_bytes() / 1e6
+        return total

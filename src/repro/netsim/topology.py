@@ -1,0 +1,66 @@
+"""The lab topology of Fig. 4: WiFi clients, local and remote servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gateway.gateway import SecurityGateway
+from repro.sdn.overlay import IsolationLevel
+
+__all__ = ["SimHost", "LabTopology"]
+
+
+@dataclass(frozen=True)
+class SimHost:
+    """One endpoint in the performance testbed."""
+
+    name: str
+    mac: str
+    ip: str
+    medium: str  # "wifi" | "eth0" | "wan"
+
+    @property
+    def is_remote(self) -> bool:
+        return self.medium == "wan"
+
+
+class LabTopology:
+    """Builds the Fig. 4 testbed around a given Security Gateway.
+
+    Four user devices on WiFi (D1–D4), a local wired server and a remote
+    server behind the WAN uplink.  All devices are pre-authorized as
+    *trusted* — the Table V experiment measures the enforcement mechanism's
+    forwarding overhead, not identification.
+    """
+
+    def __init__(self, gateway: SecurityGateway) -> None:
+        self.gateway = gateway
+        self.hosts: dict[str, SimHost] = {}
+        for index in range(1, 5):
+            self._add_device(f"D{index}", f"0a:00:00:00:00:{index:02x}", f"192.168.1.{10 + index}")
+        self.hosts["Slocal"] = SimHost(
+            name="Slocal", mac="0a:00:00:00:01:01", ip="192.168.1.200", medium="eth0"
+        )
+        self.gateway.attach_device(self.hosts["Slocal"].mac, interface="eth0")
+        self.gateway.preauthorize(self.hosts["Slocal"].mac, IsolationLevel.TRUSTED)
+        # The remote server lives behind the WAN port; it has no local
+        # switch port and no enforcement state of its own.
+        self.hosts["Sremote"] = SimHost(
+            name="Sremote", mac="0a:00:00:00:02:01", ip="52.40.1.10", medium="wan"
+        )
+        # The remote server is reached through the WAN uplink port.
+        from repro.gateway.gateway import WAN_PORT
+
+        self.gateway.switch.learn(self.hosts["Sremote"].mac, WAN_PORT)
+
+    def _add_device(self, name: str, mac: str, ip: str) -> None:
+        self.hosts[name] = SimHost(name=name, mac=mac, ip=ip, medium="wifi")
+        self.gateway.attach_device(mac, interface="wifi")
+        self.gateway.preauthorize(mac, IsolationLevel.TRUSTED)
+
+    def host(self, name: str) -> SimHost:
+        return self.hosts[name]
+
+    @property
+    def device_names(self) -> list[str]:
+        return [name for name in self.hosts if name.startswith("D")]

@@ -1,0 +1,92 @@
+"""ARP (RFC 826) for Ethernet/IPv4.
+
+Devices typically gratuitous-ARP or probe the gateway right after joining
+the network, so ARP is the first link-layer feature in Table I.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import (
+    DecodeError,
+    ipv4_to_bytes,
+    ipv4_to_str,
+    mac_to_bytes,
+    mac_to_str,
+    require,
+)
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+HTYPE_ETHERNET = 1
+PTYPE_IPV4 = 0x0800
+
+_FIXED = struct.Struct("!HHBBH")
+
+
+@dataclass(frozen=True)
+class ARPPacket:
+    """An Ethernet/IPv4 ARP packet (the only flavour IoT gateways see)."""
+
+    op: int
+    sender_mac: str
+    sender_ip: str
+    target_mac: str = "00:00:00:00:00:00"
+    target_ip: str = "0.0.0.0"
+
+    @property
+    def is_request(self) -> bool:
+        return self.op == OP_REQUEST
+
+    @property
+    def is_gratuitous(self) -> bool:
+        """Gratuitous ARP announces the sender's own address binding."""
+        return self.sender_ip == self.target_ip
+
+    def pack(self) -> bytes:
+        return (
+            _FIXED.pack(HTYPE_ETHERNET, PTYPE_IPV4, 6, 4, self.op)
+            + mac_to_bytes(self.sender_mac)
+            + ipv4_to_bytes(self.sender_ip)
+            + mac_to_bytes(self.target_mac)
+            + ipv4_to_bytes(self.target_ip)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["ARPPacket", bytes]:
+        require(data, _FIXED.size + 20, "ARP packet")
+        htype, ptype, hlen, plen, op = _FIXED.unpack_from(data)
+        if htype != HTYPE_ETHERNET or ptype != PTYPE_IPV4 or hlen != 6 or plen != 4:
+            raise DecodeError(
+                f"unsupported ARP htype/ptype/hlen/plen {htype}/{ptype:#x}/{hlen}/{plen}"
+            )
+        offset = _FIXED.size
+        sender_mac = mac_to_str(data[offset : offset + 6])
+        sender_ip = ipv4_to_str(data[offset + 6 : offset + 10])
+        target_mac = mac_to_str(data[offset + 10 : offset + 16])
+        target_ip = ipv4_to_str(data[offset + 16 : offset + 20])
+        return (
+            cls(
+                op=op,
+                sender_mac=sender_mac,
+                sender_ip=sender_ip,
+                target_mac=target_mac,
+                target_ip=target_ip,
+            ),
+            data[offset + 20 :],
+        )
+
+
+def arp_probe(sender_mac: str, target_ip: str) -> ARPPacket:
+    """RFC 5227 address probe: sender IP all-zero, asking for ``target_ip``."""
+    return ARPPacket(op=OP_REQUEST, sender_mac=sender_mac, sender_ip="0.0.0.0", target_ip=target_ip)
+
+
+def arp_announce(sender_mac: str, sender_ip: str) -> ARPPacket:
+    """Gratuitous announcement of the sender's new binding."""
+    return ARPPacket(
+        op=OP_REQUEST, sender_mac=sender_mac, sender_ip=sender_ip, target_ip=sender_ip
+    )

@@ -1,0 +1,251 @@
+"""Full-stack frame decoding into the view the fingerprinter consumes.
+
+:func:`decode` parses a raw Ethernet frame through every layer the Table I
+features reference and returns a :class:`DecodedPacket` summarizing exactly
+the observable facts the paper's feature extractor relies on: which
+protocols are present, IP option flags, packet size, payload presence,
+destination address and port numbers.  Payload *content* is deliberately
+not surfaced beyond "raw data present", matching the paper's
+encrypted-traffic-compatible design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import dhcp as dhcp_mod
+from . import dns as dns_mod
+from . import http as http_mod
+from . import ntp as ntp_mod
+from . import ssdp as ssdp_mod
+from .arp import ARPPacket
+from .base import DecodeError
+from .eapol import EAPOLFrame
+from .ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_EAPOL,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    EthernetFrame,
+)
+from .icmp import ICMPMessage, ICMPv6Message
+from .ipv4 import PROTO_ICMP as IPV4_PROTO_ICMP
+from .ipv4 import PROTO_TCP as IPV4_PROTO_TCP
+from .ipv4 import PROTO_UDP as IPV4_PROTO_UDP
+from .ipv4 import IPv4Header
+from .ipv6 import PROTO_HOP_BY_HOP, PROTO_ICMPV6, PROTO_TCP, PROTO_UDP, HopByHopOptions, IPv6Header
+from .llc import LLCHeader
+from .tcp import TCPSegment
+from .udp import UDPDatagram
+
+
+@dataclass(frozen=True)
+class DecodedPacket:
+    """Everything the fingerprint features need to know about one frame."""
+
+    size: int
+    src_mac: str = ""
+    dst_mac: str = ""
+    # Link layer
+    is_arp: bool = False
+    is_llc: bool = False
+    # Network layer
+    is_ip: bool = False
+    is_icmp: bool = False
+    is_icmpv6: bool = False
+    is_eapol: bool = False
+    # Transport layer
+    is_tcp: bool = False
+    is_udp: bool = False
+    # Application layer
+    is_http: bool = False
+    is_https: bool = False
+    is_dhcp: bool = False
+    is_bootp: bool = False
+    is_ssdp: bool = False
+    is_dns: bool = False
+    is_mdns: bool = False
+    is_ntp: bool = False
+    # IP options
+    ip_option_padding: bool = False
+    ip_option_router_alert: bool = False
+    # Content / addressing
+    has_raw_data: bool = False
+    src_ip: str | None = None
+    dst_ip: str | None = None
+    src_port: int | None = None
+    dst_port: int | None = None
+    # Decoded layer objects, outermost first (for tooling/tests).
+    layers: tuple[object, ...] = field(default_factory=tuple)
+
+    def layer(self, layer_type: type) -> object | None:
+        """Return the first decoded layer of the given type, if any."""
+        for obj in self.layers:
+            if isinstance(obj, layer_type):
+                return obj
+        return None
+
+
+def _classify_udp(datagram: UDPDatagram, facts: dict) -> list[object]:
+    """Fill application-layer facts for a UDP payload; return parsed layers."""
+    layers: list[object] = []
+    payload = datagram.payload
+    ports = (datagram.src_port, datagram.dst_port)
+    facts["src_port"], facts["dst_port"] = ports
+    if not payload:
+        return layers
+    if dhcp_mod.SERVER_PORT in ports or dhcp_mod.CLIENT_PORT in ports:
+        try:
+            message, _ = dhcp_mod.DHCPMessage.unpack(payload)
+        except DecodeError:
+            facts["has_raw_data"] = True
+            return layers
+        layers.append(message)
+        facts["is_bootp"] = True
+        if message.is_dhcp:
+            facts["is_dhcp"] = True
+        return layers
+    if dns_mod.PORT_DNS in ports or dns_mod.PORT_MDNS in ports:
+        try:
+            message, _ = dns_mod.DNSMessage.unpack(payload)
+        except DecodeError:
+            facts["has_raw_data"] = True
+            return layers
+        layers.append(message)
+        if dns_mod.PORT_MDNS in ports:
+            facts["is_mdns"] = True
+        else:
+            facts["is_dns"] = True
+        return layers
+    if ssdp_mod.PORT_SSDP in ports and ssdp_mod.looks_like_ssdp(payload):
+        message, _ = ssdp_mod.SSDPMessage.unpack(payload)
+        layers.append(message)
+        facts["is_ssdp"] = True
+        return layers
+    if ntp_mod.PORT_NTP in ports:
+        try:
+            message, _ = ntp_mod.NTPPacket.unpack(payload)
+        except DecodeError:
+            facts["has_raw_data"] = True
+            return layers
+        layers.append(message)
+        facts["is_ntp"] = True
+        return layers
+    facts["has_raw_data"] = True
+    return layers
+
+
+def _classify_tcp(segment: TCPSegment, facts: dict) -> list[object]:
+    """Fill application-layer facts for a TCP payload; return parsed layers."""
+    layers: list[object] = []
+    facts["src_port"], facts["dst_port"] = segment.src_port, segment.dst_port
+    payload = segment.payload
+    if not payload:
+        return layers
+    ports = (segment.src_port, segment.dst_port)
+    if http_mod.looks_like_http(payload):
+        message, _ = http_mod.HTTPMessage.unpack(payload)
+        layers.append(message)
+        facts["is_http"] = True
+        facts["has_raw_data"] = bool(message.body)
+        return layers
+    if http_mod.PORT_HTTPS in ports and http_mod.looks_like_tls(payload):
+        facts["is_https"] = True
+        facts["has_raw_data"] = True
+        return layers
+    facts["has_raw_data"] = True
+    return layers
+
+
+def decode(frame: bytes) -> DecodedPacket:
+    """Decode a raw Ethernet frame into a :class:`DecodedPacket`.
+
+    Unknown or truncated inner layers degrade gracefully: the outer facts
+    already gathered are kept and the remaining bytes count as raw data,
+    mirroring how a tcpdump-based pipeline treats unparseable payloads.
+    """
+    facts: dict = {"size": len(frame)}
+    layers: list[object] = []
+    eth, payload = EthernetFrame.unpack(frame)
+    layers.append(eth)
+    facts["src_mac"], facts["dst_mac"] = eth.src, eth.dst
+    try:
+        if eth.is_llc:
+            llc, rest = LLCHeader.unpack(payload)
+            layers.append(llc)
+            facts["is_llc"] = True
+            facts["has_raw_data"] = bool(rest)
+        elif eth.ethertype == ETHERTYPE_ARP:
+            arp, _ = ARPPacket.unpack(payload)
+            layers.append(arp)
+            facts["is_arp"] = True
+        elif eth.ethertype == ETHERTYPE_EAPOL:
+            eapol, _ = EAPOLFrame.unpack(payload)
+            layers.append(eapol)
+            facts["is_eapol"] = True
+        elif eth.ethertype == ETHERTYPE_IPV4:
+            ip, inner = IPv4Header.unpack(payload)
+            layers.append(ip)
+            facts["is_ip"] = True
+            facts["src_ip"] = ip.src
+            facts["dst_ip"] = ip.dst
+            facts["ip_option_padding"] = ip.has_padding_option
+            facts["ip_option_router_alert"] = ip.has_router_alert
+            if ip.proto == IPV4_PROTO_ICMP:
+                icmp, _ = ICMPMessage.unpack(inner)
+                layers.append(icmp)
+                facts["is_icmp"] = True
+            elif ip.proto == IPV4_PROTO_TCP:
+                segment, _ = TCPSegment.unpack(inner)
+                layers.append(segment)
+                facts["is_tcp"] = True
+                layers.extend(_classify_tcp(segment, facts))
+            elif ip.proto == IPV4_PROTO_UDP:
+                datagram, _ = UDPDatagram.unpack(inner)
+                layers.append(datagram)
+                facts["is_udp"] = True
+                layers.extend(_classify_udp(datagram, facts))
+            elif ip.proto == 2:  # IGMP: parsed for tooling; no Table-I flag
+                from .igmp import IGMPv2Message, IGMPv3Report, TYPE_V3_REPORT
+
+                if inner and inner[0] == TYPE_V3_REPORT:
+                    igmp, _ = IGMPv3Report.unpack(inner)
+                else:
+                    igmp, _ = IGMPv2Message.unpack(inner)
+                layers.append(igmp)
+            else:
+                facts["has_raw_data"] = bool(inner)
+        elif eth.ethertype == ETHERTYPE_IPV6:
+            ip6, inner = IPv6Header.unpack(payload)
+            layers.append(ip6)
+            facts["is_ip"] = True
+            facts["src_ip"] = ip6.src
+            facts["dst_ip"] = ip6.dst
+            next_header = ip6.next_header
+            if next_header == PROTO_HOP_BY_HOP:
+                hbh, inner = HopByHopOptions.unpack(inner)
+                layers.append(hbh)
+                facts["ip_option_router_alert"] = hbh.router_alert
+                facts["ip_option_padding"] = hbh.padding
+                next_header = hbh.next_header
+            if next_header == PROTO_ICMPV6:
+                icmp6, _ = ICMPv6Message.unpack(inner)
+                layers.append(icmp6)
+                facts["is_icmpv6"] = True
+            elif next_header == PROTO_TCP:
+                segment, _ = TCPSegment.unpack(inner)
+                layers.append(segment)
+                facts["is_tcp"] = True
+                layers.extend(_classify_tcp(segment, facts))
+            elif next_header == PROTO_UDP:
+                datagram, _ = UDPDatagram.unpack(inner)
+                layers.append(datagram)
+                facts["is_udp"] = True
+                layers.extend(_classify_udp(datagram, facts))
+            else:
+                facts["has_raw_data"] = bool(inner)
+        else:
+            facts["has_raw_data"] = bool(payload)
+    except DecodeError:
+        facts["has_raw_data"] = True
+    return DecodedPacket(layers=tuple(layers), **facts)

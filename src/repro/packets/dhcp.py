@@ -1,0 +1,184 @@
+"""BOOTP/DHCP messages (RFC 951 / RFC 2131).
+
+Table I distinguishes *DHCP* from plain *BOOTP*: a BOOTP message carrying
+option 53 (DHCP message type) counts as DHCP, one without it is raw BOOTP.
+Both flags can therefore be derived from this parser, and a handful of IoT
+devices (older firmwares) really do send optionless BOOTP requests first.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .base import DecodeError, ipv4_to_bytes, ipv4_to_str, mac_to_bytes, mac_to_str, require
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+MAGIC_COOKIE = b"\x63\x82\x53\x63"
+
+OPTION_PAD = 0
+OPTION_SUBNET_MASK = 1
+OPTION_ROUTER = 3
+OPTION_DNS_SERVERS = 6
+OPTION_HOSTNAME = 12
+OPTION_REQUESTED_IP = 50
+OPTION_MESSAGE_TYPE = 53
+OPTION_SERVER_ID = 54
+OPTION_PARAM_REQUEST_LIST = 55
+OPTION_VENDOR_CLASS = 60
+OPTION_CLIENT_ID = 61
+OPTION_END = 255
+
+DHCPDISCOVER = 1
+DHCPOFFER = 2
+DHCPREQUEST = 3
+DHCPACK = 5
+DHCPINFORM = 8
+
+_FIXED = struct.Struct("!BBBBIHH4s4s4s4s16s64s128s")
+
+CLIENT_PORT = 68
+SERVER_PORT = 67
+
+
+@dataclass(frozen=True)
+class DHCPMessage:
+    """A BOOTP frame, optionally carrying DHCP options."""
+
+    op: int
+    xid: int
+    client_mac: str
+    ciaddr: str = "0.0.0.0"
+    yiaddr: str = "0.0.0.0"
+    siaddr: str = "0.0.0.0"
+    giaddr: str = "0.0.0.0"
+    options: tuple[tuple[int, bytes], ...] = field(default_factory=tuple)
+    has_cookie: bool = True
+
+    @property
+    def message_type(self) -> int | None:
+        """DHCP message type (option 53) or None for plain BOOTP."""
+        for code, value in self.options:
+            if code == OPTION_MESSAGE_TYPE and value:
+                return value[0]
+        return None
+
+    @property
+    def is_dhcp(self) -> bool:
+        return self.message_type is not None
+
+    def option(self, code: int) -> bytes | None:
+        for opt_code, value in self.options:
+            if opt_code == code:
+                return value
+        return None
+
+    def pack(self) -> bytes:
+        chaddr = mac_to_bytes(self.client_mac) + b"\x00" * 10
+        fixed = _FIXED.pack(
+            self.op,
+            1,  # htype: Ethernet
+            6,  # hlen
+            0,  # hops
+            self.xid,
+            0,  # secs
+            0x8000 if self.op == OP_REQUEST else 0,  # broadcast flag
+            ipv4_to_bytes(self.ciaddr),
+            ipv4_to_bytes(self.yiaddr),
+            ipv4_to_bytes(self.siaddr),
+            ipv4_to_bytes(self.giaddr),
+            chaddr,
+            b"\x00" * 64,  # sname
+            b"\x00" * 128,  # file
+        )
+        if not self.has_cookie:
+            return fixed
+        body = MAGIC_COOKIE
+        for code, value in self.options:
+            body += bytes((code, len(value))) + value
+        body += bytes((OPTION_END,))
+        return fixed + body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["DHCPMessage", bytes]:
+        require(data, _FIXED.size, "BOOTP header")
+        (
+            op,
+            htype,
+            hlen,
+            _hops,
+            xid,
+            _secs,
+            _flags,
+            ciaddr,
+            yiaddr,
+            siaddr,
+            giaddr,
+            chaddr,
+            _sname,
+            _file,
+        ) = _FIXED.unpack_from(data)
+        if htype != 1 or hlen != 6:
+            raise DecodeError(f"unsupported BOOTP htype/hlen {htype}/{hlen}")
+        rest = data[_FIXED.size :]
+        options: list[tuple[int, bytes]] = []
+        has_cookie = rest.startswith(MAGIC_COOKIE)
+        if has_cookie:
+            i = len(MAGIC_COOKIE)
+            while i < len(rest):
+                code = rest[i]
+                if code == OPTION_END:
+                    break
+                if code == OPTION_PAD:
+                    i += 1
+                    continue
+                if i + 2 > len(rest):
+                    raise DecodeError("truncated DHCP option")
+                length = rest[i + 1]
+                if i + 2 + length > len(rest):
+                    raise DecodeError("truncated DHCP option value")
+                options.append((code, rest[i + 2 : i + 2 + length]))
+                i += 2 + length
+        message = cls(
+            op=op,
+            xid=xid,
+            client_mac=mac_to_str(chaddr[:6]),
+            ciaddr=ipv4_to_str(ciaddr),
+            yiaddr=ipv4_to_str(yiaddr),
+            siaddr=ipv4_to_str(siaddr),
+            giaddr=ipv4_to_str(giaddr),
+            options=tuple(options),
+            has_cookie=has_cookie,
+        )
+        return message, b""
+
+
+def discover(client_mac: str, xid: int, hostname: str | None = None) -> DHCPMessage:
+    options: list[tuple[int, bytes]] = [
+        (OPTION_MESSAGE_TYPE, bytes((DHCPDISCOVER,))),
+        (OPTION_CLIENT_ID, b"\x01" + mac_to_bytes(client_mac)),
+        (OPTION_PARAM_REQUEST_LIST, bytes((1, 3, 6, 15))),
+    ]
+    if hostname:
+        options.insert(2, (OPTION_HOSTNAME, hostname.encode()))
+    return DHCPMessage(op=OP_REQUEST, xid=xid, client_mac=client_mac, options=tuple(options))
+
+
+def request(client_mac: str, xid: int, requested_ip: str, server_ip: str) -> DHCPMessage:
+    return DHCPMessage(
+        op=OP_REQUEST,
+        xid=xid,
+        client_mac=client_mac,
+        options=(
+            (OPTION_MESSAGE_TYPE, bytes((DHCPREQUEST,))),
+            (OPTION_REQUESTED_IP, ipv4_to_bytes(requested_ip)),
+            (OPTION_SERVER_ID, ipv4_to_bytes(server_ip)),
+        ),
+    )
+
+
+def bootp_request(client_mac: str, xid: int) -> DHCPMessage:
+    """An optionless BOOTP request (counts for the BOOTP feature only)."""
+    return DHCPMessage(op=OP_REQUEST, xid=xid, client_mac=client_mac, has_cookie=False)

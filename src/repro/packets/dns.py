@@ -1,0 +1,178 @@
+"""DNS and mDNS messages (RFC 1035 / RFC 6762).
+
+The Table I features distinguish unicast DNS (port 53) from multicast DNS
+(port 5353); both share this wire format.  Name compression is supported on
+decode because real responders use it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .base import DecodeError, require
+
+TYPE_A = 1
+TYPE_PTR = 12
+TYPE_TXT = 16
+TYPE_AAAA = 28
+TYPE_SRV = 33
+TYPE_ANY = 255
+
+CLASS_IN = 1
+
+PORT_DNS = 53
+PORT_MDNS = 5353
+MDNS_GROUP_V4 = "224.0.0.251"
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted name as DNS labels (no compression on encode)."""
+    out = b""
+    for label in name.rstrip(".").split("."):
+        if not label:
+            continue
+        raw = label.encode()
+        if len(raw) > 63:
+            raise DecodeError(f"label too long in {name!r}")
+        out += bytes((len(raw),)) + raw
+    return out + b"\x00"
+
+
+def decode_name(message: bytes, offset: int) -> tuple[str, int]:
+    """Decode a possibly-compressed name; returns (name, next offset)."""
+    labels: list[str] = []
+    jumps = 0
+    end = -1
+    while True:
+        require(message, offset + 1, "DNS name")
+        length = message[offset]
+        if length == 0:
+            offset += 1
+            break
+        if length & 0xC0 == 0xC0:
+            require(message, offset + 2, "DNS compression pointer")
+            pointer = ((length & 0x3F) << 8) | message[offset + 1]
+            if end < 0:
+                end = offset + 2
+            offset = pointer
+            jumps += 1
+            if jumps > 32:
+                raise DecodeError("DNS compression loop")
+            continue
+        require(message, offset + 1 + length, "DNS label")
+        labels.append(message[offset + 1 : offset + 1 + length].decode("ascii", "replace"))
+        offset += 1 + length
+    return ".".join(labels), (end if end >= 0 else offset)
+
+
+@dataclass(frozen=True)
+class DNSQuestion:
+    name: str
+    qtype: int = TYPE_A
+    qclass: int = CLASS_IN
+
+    def pack(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
+
+
+@dataclass(frozen=True)
+class DNSRecord:
+    name: str
+    rtype: int
+    rdata: bytes
+    ttl: int = 120
+    rclass: int = CLASS_IN
+
+    def pack(self) -> bytes:
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl, len(self.rdata))
+            + self.rdata
+        )
+
+
+@dataclass(frozen=True)
+class DNSMessage:
+    """A DNS/mDNS message: header plus question and answer sections."""
+
+    txid: int = 0
+    is_response: bool = False
+    questions: tuple[DNSQuestion, ...] = field(default_factory=tuple)
+    answers: tuple[DNSRecord, ...] = field(default_factory=tuple)
+    authorities: tuple[DNSRecord, ...] = field(default_factory=tuple)
+    additionals: tuple[DNSRecord, ...] = field(default_factory=tuple)
+
+    def pack(self) -> bytes:
+        flags = 0x8400 if self.is_response else 0x0100
+        out = _HEADER.pack(
+            self.txid,
+            flags,
+            len(self.questions),
+            len(self.answers),
+            len(self.authorities),
+            len(self.additionals),
+        )
+        for question in self.questions:
+            out += question.pack()
+        for record in (*self.answers, *self.authorities, *self.additionals):
+            out += record.pack()
+        return out
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["DNSMessage", bytes]:
+        require(data, _HEADER.size, "DNS header")
+        txid, flags, qdcount, ancount, nscount, arcount = _HEADER.unpack_from(data)
+        offset = _HEADER.size
+        questions: list[DNSQuestion] = []
+        for _ in range(qdcount):
+            name, offset = decode_name(data, offset)
+            require(data, offset + 4, "DNS question")
+            qtype, qclass = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            questions.append(DNSQuestion(name=name, qtype=qtype, qclass=qclass & 0x7FFF))
+
+        def read_records(count: int, offset: int) -> tuple[list[DNSRecord], int]:
+            records: list[DNSRecord] = []
+            for _ in range(count):
+                name, offset = decode_name(data, offset)
+                require(data, offset + 10, "DNS record header")
+                rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", data, offset)
+                offset += 10
+                require(data, offset + rdlength, "DNS record data")
+                records.append(
+                    DNSRecord(
+                        name=name,
+                        rtype=rtype,
+                        rclass=rclass & 0x7FFF,
+                        ttl=ttl,
+                        rdata=data[offset : offset + rdlength],
+                    )
+                )
+                offset += rdlength
+            return records, offset
+
+        answers, offset = read_records(ancount, offset)
+        authorities, offset = read_records(nscount, offset)
+        additionals, offset = read_records(arcount, offset)
+        message = cls(
+            txid=txid,
+            is_response=bool(flags & 0x8000),
+            questions=tuple(questions),
+            answers=tuple(answers),
+            authorities=tuple(authorities),
+            additionals=tuple(additionals),
+        )
+        return message, data[offset:]
+
+
+def query(name: str, qtype: int = TYPE_A, txid: int = 0) -> DNSMessage:
+    """A standard recursive query for ``name``."""
+    return DNSMessage(txid=txid, questions=(DNSQuestion(name=name, qtype=qtype),))
+
+
+def mdns_query(service: str, qtype: int = TYPE_PTR) -> DNSMessage:
+    """An mDNS query (txid 0 per RFC 6762)."""
+    return DNSMessage(txid=0, questions=(DNSQuestion(name=service, qtype=qtype),))

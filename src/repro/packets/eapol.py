@@ -1,0 +1,67 @@
+"""EAPoL (802.1X) headers — the WPA2 4-way handshake carrier.
+
+The first packets a WiFi device exchanges with the Security Gateway after
+association are EAPoL-Key frames; Table I lists EAPoL among the network
+layer protocol features.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import require
+
+VERSION_2001 = 1
+VERSION_2004 = 2
+
+TYPE_EAP_PACKET = 0
+TYPE_START = 1
+TYPE_LOGOFF = 2
+TYPE_KEY = 3
+
+#: Key descriptor type for WPA2 (RSN).
+KEY_DESCRIPTOR_RSN = 2
+
+_HEADER = struct.Struct("!BBH")
+
+
+@dataclass(frozen=True)
+class EAPOLFrame:
+    """Version/type/length header of an EAPoL frame plus its body."""
+
+    ptype: int = TYPE_KEY
+    version: int = VERSION_2004
+    body: bytes = b""
+
+    @property
+    def is_key(self) -> bool:
+        return self.ptype == TYPE_KEY
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.version, self.ptype, len(self.body)) + self.body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["EAPOLFrame", bytes]:
+        require(data, _HEADER.size, "EAPoL header")
+        version, ptype, length = _HEADER.unpack_from(data)
+        require(data, _HEADER.size + length, "EAPoL body")
+        body = data[_HEADER.size : _HEADER.size + length]
+        return cls(ptype=ptype, version=version, body=body), data[_HEADER.size + length :]
+
+
+def eapol_key_frame(message_index: int) -> EAPOLFrame:
+    """Build a skeletal WPA2 4-way-handshake key frame.
+
+    ``message_index`` (1-4) selects the handshake message; the body is a
+    fixed-size RSN key descriptor whose key-information flags differ per
+    message, which is all the fingerprint features can observe (size and
+    protocol identity — payload content is never inspected).
+    """
+    if message_index not in (1, 2, 3, 4):
+        raise ValueError("4-way handshake has messages 1-4")
+    # Key information flags per message (pairwise, ack, mic, secure bits).
+    key_info = {1: 0x008A, 2: 0x010A, 3: 0x13CA, 4: 0x030A}[message_index]
+    body = struct.pack("!BH", KEY_DESCRIPTOR_RSN, key_info)
+    body += b"\x00" * 92  # replay counter, nonces, IV, RSC, MIC, data len
+    return EAPOLFrame(ptype=TYPE_KEY, body=body)

@@ -1,0 +1,69 @@
+"""Ethernet II and IEEE 802.3 frame handling.
+
+A frame whose type/length field is ``>= 0x0600`` is an Ethernet II frame
+carrying an EtherType; smaller values are an 802.3 length field and the
+payload starts with an LLC header (see :mod:`repro.packets.llc`), which is
+how the paper's LLC link-layer feature is observed on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import DecodeError, EncodeError, mac_to_bytes, mac_to_str, require
+
+# EtherType values used by the feature extractor.
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_EAPOL = 0x888E
+
+#: Type/length values below this threshold are 802.3 lengths (LLC follows).
+LLC_THRESHOLD = 0x0600
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+_HEADER_LEN = 14
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A decoded Ethernet header.
+
+    ``ethertype`` holds the raw type/length field value; use
+    :attr:`is_llc` to distinguish the 802.3/LLC case.
+    """
+
+    dst: str
+    src: str
+    ethertype: int
+
+    @property
+    def is_llc(self) -> bool:
+        """True when the frame is 802.3 with an LLC header in the payload."""
+        return self.ethertype < LLC_THRESHOLD
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise EncodeError(f"invalid ethertype {self.ethertype:#x}")
+        return mac_to_bytes(self.dst) + mac_to_bytes(self.src) + self.ethertype.to_bytes(2, "big") + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["EthernetFrame", bytes]:
+        require(data, _HEADER_LEN, "Ethernet header")
+        dst = mac_to_str(data[0:6])
+        src = mac_to_str(data[6:12])
+        ethertype = int.from_bytes(data[12:14], "big")
+        return cls(dst=dst, src=src, ethertype=ethertype), data[_HEADER_LEN:]
+
+
+def ethernet(dst: str, src: str, ethertype: int, payload: bytes) -> bytes:
+    """Convenience constructor: a full Ethernet II frame as raw bytes."""
+    return EthernetFrame(dst=dst, src=src, ethertype=ethertype).pack(payload)
+
+
+def ethernet_llc(dst: str, src: str, llc_payload: bytes) -> bytes:
+    """An 802.3 frame: the type/length field carries the payload length."""
+    if len(llc_payload) >= LLC_THRESHOLD:
+        raise EncodeError("802.3 payload too large for a length field")
+    return EthernetFrame(dst=dst, src=src, ethertype=len(llc_payload)).pack(llc_payload)

@@ -1,0 +1,130 @@
+"""Minimal HTTP/1.x and TLS-record awareness.
+
+The fingerprint never inspects payload semantics, but the decoder must be
+able to say *"this TCP segment carries HTTP"* / *"…carries HTTPS"*.  HTTP is
+recognized by request/status lines; HTTPS is recognized by the TLS record
+framing (content type 20-23, legal version bytes) plus the conventional
+port, mirroring how a port/dpi classifier behind tcpdump would label it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base import DecodeError
+
+PORT_HTTP = 80
+PORT_HTTP_ALT = 8080
+PORT_HTTPS = 443
+
+_METHODS = (b"GET ", b"POST ", b"PUT ", b"HEAD ", b"DELETE ", b"OPTIONS ", b"PATCH ")
+
+TLS_CHANGE_CIPHER_SPEC = 20
+TLS_ALERT = 21
+TLS_HANDSHAKE = 22
+TLS_APPLICATION_DATA = 23
+
+
+@dataclass(frozen=True)
+class HTTPMessage:
+    """An HTTP/1.x request or response (headers only; body kept raw)."""
+
+    start_line: str
+    headers: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    body: bytes = b""
+
+    @property
+    def is_request(self) -> bool:
+        return not self.start_line.startswith("HTTP/")
+
+    def header(self, name: str) -> str | None:
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+    def pack(self) -> bytes:
+        lines = [self.start_line]
+        lines.extend(f"{key}: {value}" for key, value in self.headers)
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["HTTPMessage", bytes]:
+        if not looks_like_http(data):
+            raise DecodeError("not an HTTP message")
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("ascii", "replace").split("\r\n")
+        headers: list[tuple[str, str]] = []
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers.append((key.strip(), value.strip()))
+        return cls(start_line=lines[0], headers=tuple(headers), body=body), b""
+
+
+def looks_like_http(data: bytes) -> bool:
+    """True for HTTP/1.x request or status lines."""
+    return data.startswith(b"HTTP/1.") or any(data.startswith(m) for m in _METHODS)
+
+
+def looks_like_tls(data: bytes) -> bool:
+    """True when the bytes start a plausible TLS record."""
+    if len(data) < 5:
+        return False
+    content_type, major, minor = data[0], data[1], data[2]
+    return (
+        content_type in (TLS_CHANGE_CIPHER_SPEC, TLS_ALERT, TLS_HANDSHAKE, TLS_APPLICATION_DATA)
+        and major == 3
+        and minor <= 4
+    )
+
+
+def get_request(host: str, path: str = "/", user_agent: str = "iot-device") -> HTTPMessage:
+    return HTTPMessage(
+        start_line=f"GET {path} HTTP/1.1",
+        headers=(("Host", host), ("User-Agent", user_agent), ("Connection", "close")),
+    )
+
+
+def post_request(host: str, path: str, body: bytes, content_type: str = "application/json") -> HTTPMessage:
+    return HTTPMessage(
+        start_line=f"POST {path} HTTP/1.1",
+        headers=(
+            ("Host", host),
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+        ),
+        body=body,
+    )
+
+
+def tls_client_hello(sni: str, *, session_bytes: int = 32) -> bytes:
+    """A skeletal TLS ClientHello record carrying an SNI extension.
+
+    The fingerprinting features only see size and TLS framing; the record is
+    well-formed enough for :func:`looks_like_tls` and for size to vary with
+    the server name, as real ClientHellos do.
+    """
+    sni_raw = sni.encode("ascii")
+    ext = (
+        b"\x00\x00"  # server_name extension
+        + (len(sni_raw) + 5).to_bytes(2, "big")
+        + (len(sni_raw) + 3).to_bytes(2, "big")
+        + b"\x00"
+        + len(sni_raw).to_bytes(2, "big")
+        + sni_raw
+    )
+    body = (
+        b"\x03\x03"  # client version TLS1.2
+        + bytes(32)  # random
+        + bytes((session_bytes,))
+        + bytes(session_bytes)
+        + b"\x00\x04\x13\x01\x13\x02"  # two cipher suites
+        + b"\x01\x00"  # null compression
+        + len(ext).to_bytes(2, "big")
+        + ext
+    )
+    handshake = b"\x01" + len(body).to_bytes(3, "big") + body
+    return b"\x16\x03\x01" + len(handshake).to_bytes(2, "big") + handshake

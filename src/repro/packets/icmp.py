@@ -1,0 +1,106 @@
+"""ICMP (v4) and ICMPv6 messages.
+
+Used by the latency benchmarks (echo request/reply probes, Table V) and by
+the device setup dialogues (ICMPv6 neighbour discovery / MLD during WiFi
+association, matching the ICMP/ICMPv6 features of Table I).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import inet_checksum, require
+from .ipv6 import pseudo_header_v6
+
+# ICMPv4 types
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+
+# ICMPv6 types
+ICMPV6_ECHO_REQUEST = 128
+ICMPV6_ECHO_REPLY = 129
+ICMPV6_MLD_REPORT = 131
+ICMPV6_MLDV2_REPORT = 143
+ICMPV6_ROUTER_SOLICIT = 133
+ICMPV6_NEIGHBOR_SOLICIT = 135
+ICMPV6_NEIGHBOR_ADVERT = 136
+
+_HEADER = struct.Struct("!BBH")
+
+
+@dataclass(frozen=True)
+class ICMPMessage:
+    """A generic ICMPv4 message (type/code plus rest-of-header + body)."""
+
+    icmp_type: int
+    code: int = 0
+    body: bytes = b""
+
+    @property
+    def is_echo(self) -> bool:
+        return self.icmp_type in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY)
+
+    def pack(self) -> bytes:
+        header = _HEADER.pack(self.icmp_type, self.code, 0) + self.body
+        checksum = inet_checksum(header)
+        return header[:2] + checksum.to_bytes(2, "big") + header[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["ICMPMessage", bytes]:
+        require(data, _HEADER.size, "ICMP header")
+        icmp_type, code, _checksum = _HEADER.unpack_from(data)
+        return cls(icmp_type=icmp_type, code=code, body=data[_HEADER.size :]), b""
+
+
+def echo_request(ident: int, seq: int, payload: bytes = b"") -> ICMPMessage:
+    return ICMPMessage(
+        icmp_type=ICMP_ECHO_REQUEST, body=struct.pack("!HH", ident, seq) + payload
+    )
+
+
+def echo_reply(ident: int, seq: int, payload: bytes = b"") -> ICMPMessage:
+    return ICMPMessage(
+        icmp_type=ICMP_ECHO_REPLY, body=struct.pack("!HH", ident, seq) + payload
+    )
+
+
+@dataclass(frozen=True)
+class ICMPv6Message:
+    """A generic ICMPv6 message; checksum needs the IPv6 pseudo-header."""
+
+    icmp_type: int
+    code: int = 0
+    body: bytes = b""
+
+    def pack(self, src: str = "::", dst: str = "::") -> bytes:
+        header = _HEADER.pack(self.icmp_type, self.code, 0) + self.body
+        pseudo = pseudo_header_v6(src, dst, 58, len(header))
+        checksum = inet_checksum(pseudo + header)
+        return header[:2] + checksum.to_bytes(2, "big") + header[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["ICMPv6Message", bytes]:
+        require(data, _HEADER.size, "ICMPv6 header")
+        icmp_type, code, _checksum = _HEADER.unpack_from(data)
+        return cls(icmp_type=icmp_type, code=code, body=data[_HEADER.size :]), b""
+
+
+def router_solicitation() -> ICMPv6Message:
+    """RFC 4861 router solicitation (sent to ff02::2 on interface-up)."""
+    return ICMPv6Message(icmp_type=ICMPV6_ROUTER_SOLICIT, body=b"\x00" * 4)
+
+
+def neighbor_solicitation(target: bytes) -> ICMPv6Message:
+    """RFC 4861 neighbour solicitation for duplicate address detection."""
+    if len(target) != 16:
+        raise ValueError("target must be a 16-byte IPv6 address")
+    return ICMPv6Message(icmp_type=ICMPV6_NEIGHBOR_SOLICIT, body=b"\x00" * 4 + target)
+
+
+def mldv2_report() -> ICMPv6Message:
+    """A skeletal MLDv2 multicast listener report (RFC 3810)."""
+    body = b"\x00\x00\x00\x01"  # reserved + one record
+    body += b"\x04\x00\x00\x00" + b"\xff\x02" + b"\x00" * 13 + b"\xfb"  # join ff02::fb
+    return ICMPv6Message(icmp_type=ICMPV6_MLDV2_REPORT, body=body)

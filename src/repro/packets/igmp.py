@@ -1,0 +1,85 @@
+"""IGMP v2/v3 messages (RFC 2236 / RFC 3376).
+
+Multicast membership reports are one of the few places the IPv4
+router-alert option (a Table-I feature) appears in consumer traffic —
+UPnP/SSDP and mDNS capable devices join their groups right after setup.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import DecodeError, inet_checksum, ipv4_to_bytes, ipv4_to_str, require
+
+TYPE_MEMBERSHIP_QUERY = 0x11
+TYPE_V2_REPORT = 0x16
+TYPE_V2_LEAVE = 0x17
+TYPE_V3_REPORT = 0x22
+
+#: IGMPv3 group-record types.
+RECORD_MODE_IS_EXCLUDE = 2
+RECORD_CHANGE_TO_EXCLUDE = 4
+
+
+@dataclass(frozen=True)
+class IGMPv2Message:
+    """Fixed 8-byte IGMPv2 message."""
+
+    igmp_type: int
+    group: str
+    max_resp_time: int = 0
+
+    def pack(self) -> bytes:
+        body = struct.pack("!BBH", self.igmp_type, self.max_resp_time, 0)
+        body += ipv4_to_bytes(self.group)
+        checksum = inet_checksum(body)
+        return body[:2] + checksum.to_bytes(2, "big") + body[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["IGMPv2Message", bytes]:
+        require(data, 8, "IGMPv2 message")
+        igmp_type, max_resp, _checksum = struct.unpack_from("!BBH", data)
+        if igmp_type == TYPE_V3_REPORT:
+            raise DecodeError("IGMPv3 report; use IGMPv3Report.unpack")
+        group = ipv4_to_str(data[4:8])
+        return cls(igmp_type=igmp_type, group=group, max_resp_time=max_resp), data[8:]
+
+
+@dataclass(frozen=True)
+class IGMPv3Report:
+    """An IGMPv3 membership report carrying EXCLUDE-mode group records."""
+
+    groups: tuple[str, ...]
+
+    def pack(self) -> bytes:
+        body = struct.pack("!BBHHH", TYPE_V3_REPORT, 0, 0, 0, len(self.groups))
+        for group in self.groups:
+            body += struct.pack("!BBH", RECORD_CHANGE_TO_EXCLUDE, 0, 0)
+            body += ipv4_to_bytes(group)
+        checksum = inet_checksum(body)
+        return body[:2] + checksum.to_bytes(2, "big") + body[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["IGMPv3Report", bytes]:
+        require(data, 8, "IGMPv3 report")
+        igmp_type = data[0]
+        if igmp_type != TYPE_V3_REPORT:
+            raise DecodeError(f"not an IGMPv3 report (type {igmp_type:#x})")
+        count = struct.unpack_from("!H", data, 6)[0]
+        offset = 8
+        groups = []
+        for _ in range(count):
+            require(data, offset + 8, "IGMPv3 group record")
+            _rtype, aux_len, n_sources = struct.unpack_from("!BBH", data, offset)
+            groups.append(ipv4_to_str(data[offset + 4 : offset + 8]))
+            offset += 8 + 4 * n_sources + 4 * aux_len
+        return cls(groups=tuple(groups)), data[offset:]
+
+
+def v2_report(group: str) -> IGMPv2Message:
+    return IGMPv2Message(igmp_type=TYPE_V2_REPORT, group=group)
+
+
+def v2_leave(group: str) -> IGMPv2Message:
+    return IGMPv2Message(igmp_type=TYPE_V2_LEAVE, group=group)

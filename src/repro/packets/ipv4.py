@@ -1,0 +1,169 @@
+"""IPv4 header with options support.
+
+The feature extractor needs two IP-option signals from Table I: *Padding*
+(End-of-Options-List / No-Operation bytes) and *Router Alert* (RFC 2113,
+option 148) — the latter appears in IGMP joins that devices such as the
+Philips Hue bridge send while doing multicast discovery.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .base import DecodeError, EncodeError, inet_checksum, ipv4_to_bytes, ipv4_to_str, require
+
+PROTO_ICMP = 1
+PROTO_IGMP = 2
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+OPTION_EOL = 0
+OPTION_NOP = 1
+OPTION_ROUTER_ALERT = 148
+
+_FIXED = struct.Struct("!BBHHHBBH4s4s")
+
+#: Option kinds that count as "padding" for the Table I feature.
+PADDING_OPTIONS = frozenset({OPTION_EOL, OPTION_NOP})
+
+
+@dataclass(frozen=True)
+class IPv4Option:
+    """A single IPv4 option TLV (EOL/NOP are single-byte, others TLV)."""
+
+    kind: int
+    data: bytes = b""
+
+    def pack(self) -> bytes:
+        if self.kind in PADDING_OPTIONS:
+            return bytes((self.kind,))
+        return bytes((self.kind, len(self.data) + 2)) + self.data
+
+
+def router_alert_option() -> IPv4Option:
+    """RFC 2113 router alert, value 0 (examine packet)."""
+    return IPv4Option(kind=OPTION_ROUTER_ALERT, data=b"\x00\x00")
+
+
+def _pack_options(options: tuple[IPv4Option, ...]) -> bytes:
+    raw = b"".join(opt.pack() for opt in options)
+    if len(raw) % 4:
+        raw += bytes(4 - len(raw) % 4)  # pad header to a 32-bit boundary
+    if len(raw) > 40:
+        raise EncodeError("IPv4 options exceed 40 bytes")
+    return raw
+
+
+def _parse_options(raw: bytes) -> tuple[IPv4Option, ...]:
+    options: list[IPv4Option] = []
+    i = 0
+    while i < len(raw):
+        kind = raw[i]
+        if kind == OPTION_EOL:
+            options.append(IPv4Option(OPTION_EOL))
+            break
+        if kind == OPTION_NOP:
+            options.append(IPv4Option(OPTION_NOP))
+            i += 1
+            continue
+        if i + 2 > len(raw):
+            raise DecodeError("truncated IPv4 option")
+        length = raw[i + 1]
+        if length < 2 or i + length > len(raw):
+            raise DecodeError(f"bad IPv4 option length {length}")
+        options.append(IPv4Option(kind=kind, data=raw[i + 2 : i + length]))
+        i += length
+    return tuple(options)
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """A decoded/encodable IPv4 header."""
+
+    src: str
+    dst: str
+    proto: int
+    ttl: int = 64
+    ident: int = 0
+    flags: int = 2  # don't-fragment, the common case for IoT traffic
+    frag_offset: int = 0
+    tos: int = 0
+    options: tuple[IPv4Option, ...] = field(default_factory=tuple)
+
+    @property
+    def has_padding_option(self) -> bool:
+        return any(opt.kind in PADDING_OPTIONS for opt in self.options)
+
+    @property
+    def has_router_alert(self) -> bool:
+        return any(opt.kind == OPTION_ROUTER_ALERT for opt in self.options)
+
+    def header_length(self) -> int:
+        return 20 + len(_pack_options(self.options))
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        option_bytes = _pack_options(self.options)
+        ihl = (20 + len(option_bytes)) // 4
+        total_length = 20 + len(option_bytes) + len(payload)
+        if total_length > 0xFFFF:
+            raise EncodeError("IPv4 datagram too large")
+        header = _FIXED.pack(
+            (4 << 4) | ihl,
+            self.tos,
+            total_length,
+            self.ident,
+            (self.flags << 13) | self.frag_offset,
+            self.ttl,
+            self.proto,
+            0,
+            ipv4_to_bytes(self.src),
+            ipv4_to_bytes(self.dst),
+        )
+        header += option_bytes
+        checksum = inet_checksum(header)
+        header = header[:10] + checksum.to_bytes(2, "big") + header[12:]
+        return header + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        require(data, 20, "IPv4 header")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise DecodeError(f"not IPv4 (version {version_ihl >> 4})")
+        ihl = (version_ihl & 0x0F) * 4
+        if ihl < 20:
+            raise DecodeError(f"bad IPv4 IHL {ihl}")
+        require(data, ihl, "IPv4 header with options")
+        (
+            _vi,
+            tos,
+            total_length,
+            ident,
+            flags_frag,
+            ttl,
+            proto,
+            _checksum,
+            raw_src,
+            raw_dst,
+        ) = _FIXED.unpack_from(data)
+        if total_length < ihl or total_length > len(data):
+            raise DecodeError(f"bad IPv4 total length {total_length}")
+        options = _parse_options(data[20:ihl])
+        header = cls(
+            src=ipv4_to_str(raw_src),
+            dst=ipv4_to_str(raw_dst),
+            proto=proto,
+            ttl=ttl,
+            ident=ident,
+            flags=flags_frag >> 13,
+            frag_offset=flags_frag & 0x1FFF,
+            tos=tos,
+            options=options,
+        )
+        return header, data[ihl:total_length]
+
+
+def pseudo_header(src: str, dst: str, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header used by TCP/UDP checksum computation."""
+    return ipv4_to_bytes(src) + ipv4_to_bytes(dst) + struct.pack("!BBH", 0, proto, length)

@@ -1,0 +1,132 @@
+"""IPv6 header with hop-by-hop options (router alert).
+
+IoT devices emit ICMPv6 (neighbour/router solicitation, MLD joins) during
+setup; MLD reports carry a hop-by-hop router-alert option, mirroring the
+IPv4 router-alert feature of Table I.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import DecodeError, ipv6_to_bytes, ipv6_to_str, require
+
+PROTO_HOP_BY_HOP = 0
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMPV6 = 58
+
+OPTION_PAD1 = 0
+OPTION_PADN = 1
+OPTION_ROUTER_ALERT = 5
+
+_FIXED = struct.Struct("!IHBB16s16s")
+
+
+@dataclass(frozen=True)
+class HopByHopOptions:
+    """A hop-by-hop extension header reduced to the flags we fingerprint."""
+
+    router_alert: bool = False
+    padding: bool = False
+    next_header: int = PROTO_ICMPV6
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        body = b""
+        if self.router_alert:
+            body += bytes((OPTION_ROUTER_ALERT, 2, 0, 0))
+        if self.padding or len(body) % 8 != 6:
+            pad_needed = (6 - len(body)) % 8
+            if pad_needed == 1:
+                body += bytes((OPTION_PAD1,))
+            elif pad_needed:
+                body += bytes((OPTION_PADN, pad_needed - 2)) + bytes(pad_needed - 2)
+        # Extension header length is in 8-byte units, excluding the first 8.
+        total = 2 + len(body)
+        if total % 8:
+            body += bytes((OPTION_PADN, (8 - total % 8) - 2)) + bytes((8 - total % 8) - 2)
+            total = 2 + len(body)
+        return bytes((self.next_header, total // 8 - 1)) + body + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["HopByHopOptions", bytes]:
+        require(data, 8, "hop-by-hop header")
+        next_header = data[0]
+        length = (data[1] + 1) * 8
+        require(data, length, "hop-by-hop options")
+        body = data[2:length]
+        router_alert = False
+        padding = False
+        i = 0
+        while i < len(body):
+            kind = body[i]
+            if kind == OPTION_PAD1:
+                padding = True
+                i += 1
+                continue
+            if i + 2 > len(body):
+                raise DecodeError("truncated hop-by-hop option")
+            opt_len = body[i + 1]
+            if kind == OPTION_PADN:
+                padding = True
+            elif kind == OPTION_ROUTER_ALERT:
+                router_alert = True
+            i += 2 + opt_len
+        return (
+            cls(router_alert=router_alert, padding=padding, next_header=next_header),
+            data[length:],
+        )
+
+
+@dataclass(frozen=True)
+class IPv6Header:
+    """Fixed IPv6 header; ``next_header`` may point at a hop-by-hop header."""
+
+    src: str
+    dst: str
+    next_header: int
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        first_word = (6 << 28) | (self.traffic_class << 20) | self.flow_label
+        return _FIXED.pack(
+            first_word,
+            len(payload),
+            self.next_header,
+            self.hop_limit,
+            ipv6_to_bytes(self.src),
+            ipv6_to_bytes(self.dst),
+        ) + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["IPv6Header", bytes]:
+        require(data, _FIXED.size, "IPv6 header")
+        first_word, payload_len, next_header, hop_limit, raw_src, raw_dst = _FIXED.unpack_from(
+            data
+        )
+        if first_word >> 28 != 6:
+            raise DecodeError(f"not IPv6 (version {first_word >> 28})")
+        require(data, _FIXED.size + payload_len, "IPv6 payload")
+        header = cls(
+            src=ipv6_to_str(raw_src),
+            dst=ipv6_to_str(raw_dst),
+            next_header=next_header,
+            hop_limit=hop_limit,
+            traffic_class=(first_word >> 20) & 0xFF,
+            flow_label=first_word & 0xFFFFF,
+        )
+        return header, data[_FIXED.size : _FIXED.size + payload_len]
+
+
+def pseudo_header_v6(src: str, dst: str, next_header: int, length: int) -> bytes:
+    """IPv6 pseudo-header for upper-layer checksums (RFC 8200 §8.1)."""
+    return (
+        ipv6_to_bytes(src)
+        + ipv6_to_bytes(dst)
+        + struct.pack("!I", length)
+        + b"\x00\x00\x00"
+        + bytes((next_header,))
+    )

@@ -1,0 +1,37 @@
+"""IEEE 802.2 Logical Link Control header.
+
+IoT hub devices bridging ZigBee/Z-Wave segments (e.g. the MAX! gateway or
+HomeMatic plug in Table II) emit 802.3/LLC frames during association, which
+is why LLC is one of the two link-layer features in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import require
+
+#: Common SAP values.
+SAP_SNAP = 0xAA
+SAP_SPANNING_TREE = 0x42
+SAP_NULL = 0x00
+
+#: Unnumbered Information control field.
+CONTROL_UI = 0x03
+
+
+@dataclass(frozen=True)
+class LLCHeader:
+    """DSAP/SSAP/control triple of an 802.2 LLC PDU."""
+
+    dsap: int = SAP_SNAP
+    ssap: int = SAP_SNAP
+    control: int = CONTROL_UI
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        return bytes((self.dsap & 0xFF, self.ssap & 0xFF, self.control & 0xFF)) + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["LLCHeader", bytes]:
+        require(data, 3, "LLC header")
+        return cls(dsap=data[0], ssap=data[1], control=data[2]), data[3:]

@@ -1,0 +1,77 @@
+"""NTP (RFC 5905) client/server packets over UDP 123.
+
+Nearly every IoT device syncs its clock right after obtaining an address,
+making NTP a strong early-setup feature (Table I).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import require
+
+PORT_NTP = 123
+
+MODE_CLIENT = 3
+MODE_SERVER = 4
+
+#: Seconds between the NTP epoch (1900) and the Unix epoch (1970).
+NTP_UNIX_DELTA = 2208988800
+
+_HEADER = struct.Struct("!BBBbIII8s8s8s8s")
+
+
+@dataclass(frozen=True)
+class NTPPacket:
+    """A 48-byte NTPv4 packet."""
+
+    mode: int = MODE_CLIENT
+    version: int = 4
+    leap: int = 0
+    stratum: int = 0
+    poll: int = 6
+    precision: int = -20
+    transmit_time: float = 0.0
+
+    def pack(self) -> bytes:
+        li_vn_mode = (self.leap << 6) | (self.version << 3) | self.mode
+        ntp_time = self.transmit_time + NTP_UNIX_DELTA
+        seconds = int(ntp_time)
+        fraction = int((ntp_time - seconds) * (1 << 32)) & 0xFFFFFFFF
+        transmit = struct.pack("!II", seconds & 0xFFFFFFFF, fraction)
+        return _HEADER.pack(
+            li_vn_mode,
+            self.stratum,
+            self.poll,
+            self.precision,
+            0,  # root delay
+            0,  # root dispersion
+            0,  # reference id
+            b"\x00" * 8,  # reference timestamp
+            b"\x00" * 8,  # origin timestamp
+            b"\x00" * 8,  # receive timestamp
+            transmit,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["NTPPacket", bytes]:
+        require(data, _HEADER.size, "NTP packet")
+        fields = _HEADER.unpack_from(data)
+        li_vn_mode, stratum, poll, precision = fields[0], fields[1], fields[2], fields[3]
+        seconds, fraction = struct.unpack("!II", fields[10])
+        transmit_time = seconds + fraction / (1 << 32) - NTP_UNIX_DELTA
+        packet = cls(
+            mode=li_vn_mode & 0x07,
+            version=(li_vn_mode >> 3) & 0x07,
+            leap=li_vn_mode >> 6,
+            stratum=stratum,
+            poll=poll,
+            precision=precision,
+            transmit_time=transmit_time,
+        )
+        return packet, data[_HEADER.size :]
+
+
+def client_request(transmit_time: float = 0.0) -> NTPPacket:
+    return NTPPacket(mode=MODE_CLIENT, transmit_time=transmit_time)

@@ -1,0 +1,138 @@
+"""Reader/writer for the classic libpcap capture file format.
+
+Supports the microsecond (magic ``0xa1b2c3d4``) and nanosecond
+(``0xa1b23c4d``) variants in both byte orders, which covers everything
+``tcpdump``-style tooling produces.  This is the on-disk interchange format
+between the Security Gateway's capture module and the fingerprinting
+pipeline, mirroring the paper's tcpdump-based collection setup (Sect. VI-A).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from .base import DecodeError
+
+MAGIC_MICRO = 0xA1B2C3D4
+MAGIC_NANO = 0xA1B23C4D
+
+#: Link type for Ethernet frames (the only one the gateway records).
+LINKTYPE_ETHERNET = 1
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured frame: a timestamp plus the raw link-layer bytes."""
+
+    timestamp: float
+    data: bytes
+    orig_len: int = -1
+
+    def __post_init__(self) -> None:
+        if self.orig_len < 0:
+            object.__setattr__(self, "orig_len", len(self.data))
+
+
+@dataclass
+class PcapFile:
+    """An in-memory pcap capture: header metadata plus records."""
+
+    records: list[CaptureRecord] = field(default_factory=list)
+    linktype: int = LINKTYPE_ETHERNET
+    snaplen: int = 65535
+    nanosecond: bool = False
+
+    def append(self, record: CaptureRecord) -> None:
+        self.records.append(record)
+
+    def __iter__(self) -> Iterator[CaptureRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def read_capture(source: str | Path) -> PcapFile:
+    """Open a capture file of either classic-pcap or pcapng format."""
+    path = Path(source)
+    with open(path, "rb") as handle:
+        prefix = handle.read(4)
+    from .pcapng import looks_like_pcapng, read_pcapng
+
+    if looks_like_pcapng(prefix):
+        return read_pcapng(path)
+    return read_pcap(path)
+
+
+def read_pcap(source: str | Path | BinaryIO) -> PcapFile:
+    """Parse a pcap file from a path or binary file object."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_pcap(handle)
+    raw_magic = source.read(4)
+    if len(raw_magic) != 4:
+        raise DecodeError("truncated pcap global header")
+    prefix = None
+    nanosecond = False
+    for candidate in ("<", ">"):
+        magic = struct.unpack(candidate + "I", raw_magic)[0]
+        if magic in (MAGIC_MICRO, MAGIC_NANO):
+            prefix = candidate
+            nanosecond = magic == MAGIC_NANO
+            break
+    if prefix is None:
+        raise DecodeError(f"bad pcap magic {raw_magic.hex()}")
+    remainder = struct.Struct(prefix + "HHiIII")
+    rest = source.read(remainder.size)
+    if len(rest) != remainder.size:
+        raise DecodeError("truncated pcap global header")
+    _major, _minor, _tz, _sig, snaplen, linktype = remainder.unpack(rest)
+    capture = PcapFile(linktype=linktype, snaplen=snaplen, nanosecond=nanosecond)
+    divisor = 1e9 if nanosecond else 1e6
+    record_header = struct.Struct(prefix + "IIII")
+    while True:
+        head = source.read(record_header.size)
+        if not head:
+            break
+        if len(head) != record_header.size:
+            raise DecodeError("truncated pcap record header")
+        ts_sec, ts_frac, incl_len, orig_len = record_header.unpack(head)
+        data = source.read(incl_len)
+        if len(data) != incl_len:
+            raise DecodeError("truncated pcap record body")
+        capture.append(
+            CaptureRecord(timestamp=ts_sec + ts_frac / divisor, data=data, orig_len=orig_len)
+        )
+    return capture
+
+
+def write_pcap(
+    target: str | Path | BinaryIO,
+    records: Iterable[CaptureRecord],
+    *,
+    linktype: int = LINKTYPE_ETHERNET,
+    snaplen: int = 65535,
+    nanosecond: bool = False,
+) -> None:
+    """Write records as a little-endian pcap file."""
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as handle:
+            write_pcap(
+                handle, records, linktype=linktype, snaplen=snaplen, nanosecond=nanosecond
+            )
+        return
+    magic = MAGIC_NANO if nanosecond else MAGIC_MICRO
+    target.write(struct.pack("<IHHiIII", magic, 2, 4, 0, 0, snaplen, linktype))
+    multiplier = 1e9 if nanosecond else 1e6
+    for record in records:
+        ts_sec = int(record.timestamp)
+        ts_frac = int(round((record.timestamp - ts_sec) * multiplier))
+        if ts_frac >= multiplier:
+            ts_sec += 1
+            ts_frac = 0
+        target.write(
+            struct.pack("<IIII", ts_sec, ts_frac, len(record.data), record.orig_len)
+        )
+        target.write(record.data)

@@ -1,0 +1,161 @@
+"""Read-only pcapng (pcap-ng) support.
+
+Modern tcpdump/wireshark default to pcapng; the analysis pipeline accepts
+both via :func:`repro.packets.read_capture`.  Supported blocks: Section
+Header, Interface Description, Enhanced Packet and Simple Packet; options
+are skipped.  Writing stays classic-pcap only (it is the lingua franca).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
+from .base import DecodeError
+from .pcap import CaptureRecord, PcapFile
+
+BLOCK_SHB = 0x0A0D0D0A
+BLOCK_IDB = 0x00000001
+BLOCK_SPB = 0x00000003
+BLOCK_EPB = 0x00000006
+
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+
+__all__ = ["read_pcapng", "looks_like_pcapng"]
+
+
+def looks_like_pcapng(prefix: bytes) -> bool:
+    """True when the first bytes announce a pcapng section header."""
+    return len(prefix) >= 4 and struct.unpack("<I", prefix[:4])[0] == BLOCK_SHB
+
+
+class _SectionState:
+    """Endianness + per-interface timestamp resolution of one section."""
+
+    def __init__(self) -> None:
+        self.prefix = "<"
+        self.if_tsresol: list[float] = []
+        self.linktype: int | None = None
+        self.snaplen: int = 65535
+
+
+def _parse_shb(body: bytes, state: _SectionState) -> None:
+    if len(body) < 4:
+        raise DecodeError("truncated section header block")
+    magic_le = struct.unpack("<I", body[:4])[0]
+    if magic_le == BYTE_ORDER_MAGIC:
+        state.prefix = "<"
+    elif struct.unpack(">I", body[:4])[0] == BYTE_ORDER_MAGIC:
+        state.prefix = ">"
+    else:
+        raise DecodeError("bad pcapng byte-order magic")
+    state.if_tsresol = []
+
+
+def _option_value(options: bytes, prefix: str, wanted_code: int) -> bytes | None:
+    i = 0
+    while i + 4 <= len(options):
+        code, length = struct.unpack_from(prefix + "HH", options, i)
+        i += 4
+        if code == 0:  # opt_endofopt
+            return None
+        value = options[i : i + length]
+        i += length + ((4 - length % 4) % 4)
+        if code == wanted_code:
+            return value
+    return None
+
+
+def _parse_idb(body: bytes, state: _SectionState) -> None:
+    if len(body) < 8:
+        raise DecodeError("truncated interface description block")
+    linktype, _reserved, snaplen = struct.unpack_from(state.prefix + "HHI", body)
+    if state.linktype is None:
+        state.linktype = linktype
+        state.snaplen = snaplen or 65535
+    # if_tsresol (option 9): default 10^-6.
+    raw = _option_value(body[8:], state.prefix, 9)
+    if raw:
+        value = raw[0]
+        resolution = 2.0 ** -(value & 0x7F) if value & 0x80 else 10.0 ** -value
+    else:
+        resolution = 1e-6
+    state.if_tsresol.append(resolution)
+
+
+def _parse_epb(body: bytes, state: _SectionState) -> CaptureRecord:
+    if len(body) < 20:
+        raise DecodeError("truncated enhanced packet block")
+    interface, ts_high, ts_low, captured, original = struct.unpack_from(
+        state.prefix + "IIIII", body
+    )
+    data = body[20 : 20 + captured]
+    if len(data) != captured:
+        raise DecodeError("truncated enhanced packet data")
+    resolution = (
+        state.if_tsresol[interface] if interface < len(state.if_tsresol) else 1e-6
+    )
+    timestamp = ((ts_high << 32) | ts_low) * resolution
+    return CaptureRecord(timestamp=timestamp, data=data, orig_len=original)
+
+
+def _parse_spb(body: bytes, state: _SectionState) -> CaptureRecord:
+    if len(body) < 4:
+        raise DecodeError("truncated simple packet block")
+    original = struct.unpack_from(state.prefix + "I", body)[0]
+    captured = min(original, state.snaplen, len(body) - 4)
+    return CaptureRecord(timestamp=0.0, data=body[4 : 4 + captured], orig_len=original)
+
+
+def read_pcapng(source: str | Path | BinaryIO) -> PcapFile:
+    """Parse a pcapng capture into the same in-memory form as pcap."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_pcapng(handle)
+    state = _SectionState()
+    capture = PcapFile()
+    first = True
+    while True:
+        head = source.read(8)
+        if not head:
+            break
+        if len(head) != 8:
+            raise DecodeError("truncated pcapng block header")
+        # Block type endianness: SHB's type is palindromic; others use the
+        # current section's byte order.
+        block_type_le = struct.unpack("<I", head[:4])[0]
+        if block_type_le == BLOCK_SHB:
+            # Peek byte order from the body before trusting total length.
+            peek = source.read(4)
+            if len(peek) != 4:
+                raise DecodeError("truncated section header block")
+            prefix = "<" if struct.unpack("<I", peek)[0] == BYTE_ORDER_MAGIC else ">"
+            total_length = struct.unpack(prefix + "I", head[4:8])[0]
+            body = peek + source.read(total_length - 16)
+            trailer = source.read(4)
+            if len(body) != total_length - 12 or len(trailer) != 4:
+                raise DecodeError("truncated section header block")
+            _parse_shb(body, state)
+            first = False
+            continue
+        if first:
+            raise DecodeError("pcapng must start with a section header block")
+        block_type = struct.unpack(state.prefix + "I", head[:4])[0]
+        total_length = struct.unpack(state.prefix + "I", head[4:8])[0]
+        if total_length < 12 or total_length % 4:
+            raise DecodeError(f"bad pcapng block length {total_length}")
+        body = source.read(total_length - 12)
+        trailer = source.read(4)
+        if len(body) != total_length - 12 or len(trailer) != 4:
+            raise DecodeError("truncated pcapng block")
+        if block_type == BLOCK_IDB:
+            _parse_idb(body, state)
+        elif block_type == BLOCK_EPB:
+            capture.append(_parse_epb(body, state))
+        elif block_type == BLOCK_SPB:
+            capture.append(_parse_spb(body, state))
+        # all other block types (NRB, ISB, custom) are skipped
+    capture.linktype = state.linktype if state.linktype is not None else 1
+    capture.snaplen = state.snaplen
+    return capture

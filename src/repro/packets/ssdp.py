@@ -1,0 +1,92 @@
+"""SSDP (Simple Service Discovery Protocol) over UDP 1900.
+
+UPnP-capable devices (cameras, hubs, plugs) multicast ``M-SEARCH`` and
+``NOTIFY`` messages during setup; SSDP is one of the eight application
+protocol features of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base import DecodeError
+
+PORT_SSDP = 1900
+MULTICAST_GROUP = "239.255.255.250"
+
+_START_LINES = (
+    b"M-SEARCH * HTTP/1.1",
+    b"NOTIFY * HTTP/1.1",
+    b"HTTP/1.1 200 OK",
+)
+
+
+@dataclass(frozen=True)
+class SSDPMessage:
+    """An SSDP request/response: start line plus headers."""
+
+    start_line: str
+    headers: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    @property
+    def method(self) -> str:
+        return self.start_line.split(" ", 1)[0]
+
+    def header(self, name: str) -> str | None:
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+    def pack(self) -> bytes:
+        lines = [self.start_line]
+        lines.extend(f"{key}: {value}" for key, value in self.headers)
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["SSDPMessage", bytes]:
+        if not looks_like_ssdp(data):
+            raise DecodeError("not an SSDP message")
+        text, _, rest = data.partition(b"\r\n\r\n")
+        lines = text.decode("ascii", "replace").split("\r\n")
+        headers: list[tuple[str, str]] = []
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers.append((key.strip(), value.strip()))
+        return cls(start_line=lines[0], headers=tuple(headers)), rest
+
+
+def looks_like_ssdp(data: bytes) -> bool:
+    """Cheap sniff used by the decoder for UDP/1900 payloads."""
+    return any(data.startswith(line) for line in _START_LINES)
+
+
+def m_search(search_target: str = "ssdp:all", mx: int = 2) -> SSDPMessage:
+    """The discovery query a device multicasts when joining the network."""
+    return SSDPMessage(
+        start_line="M-SEARCH * HTTP/1.1",
+        headers=(
+            ("HOST", f"{MULTICAST_GROUP}:{PORT_SSDP}"),
+            ("MAN", '"ssdp:discover"'),
+            ("MX", str(mx)),
+            ("ST", search_target),
+        ),
+    )
+
+
+def notify_alive(location: str, notification_type: str, usn: str) -> SSDPMessage:
+    """The ``ssdp:alive`` announcement of a device's own services."""
+    return SSDPMessage(
+        start_line="NOTIFY * HTTP/1.1",
+        headers=(
+            ("HOST", f"{MULTICAST_GROUP}:{PORT_SSDP}"),
+            ("CACHE-CONTROL", "max-age=1800"),
+            ("LOCATION", location),
+            ("NT", notification_type),
+            ("NTS", "ssdp:alive"),
+            ("USN", usn),
+        ),
+    )

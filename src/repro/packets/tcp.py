@@ -1,0 +1,106 @@
+"""TCP segment header.
+
+The fingerprint uses TCP only at the level Table I requires — transport
+protocol identity, port classes and payload presence — but the header here
+is complete (flags, options, checksum) so that generated captures are valid
+on the wire and the SDN flow layer can match real 5-tuples.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import DecodeError, EncodeError, inet_checksum, require
+from .ipv4 import pseudo_header
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+_FIXED = struct.Struct("!HHIIBBHHH")
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """A TCP header plus payload."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = FLAG_SYN
+    window: int = 65535
+    options: bytes = b""
+    payload: bytes = b""
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN) and not self.flags & FLAG_ACK
+
+    @property
+    def has_payload(self) -> bool:
+        return bool(self.payload)
+
+    def pack(self, src_ip: str = "0.0.0.0", dst_ip: str = "0.0.0.0") -> bytes:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise EncodeError(f"invalid TCP port {port}")
+        options = self.options
+        if len(options) % 4:
+            options += bytes(4 - len(options) % 4)
+        data_offset = (20 + len(options)) // 4
+        if data_offset > 15:
+            raise EncodeError("TCP options too long")
+        header = _FIXED.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset << 4,
+            self.flags,
+            self.window,
+            0,
+            0,
+        )
+        segment = header + options + self.payload
+        pseudo = pseudo_header(src_ip, dst_ip, 6, len(segment))
+        checksum = inet_checksum(pseudo + segment)
+        return segment[:16] + checksum.to_bytes(2, "big") + segment[18:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["TCPSegment", bytes]:
+        require(data, 20, "TCP header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_byte,
+            flags,
+            window,
+            _checksum,
+            _urgent,
+        ) = _FIXED.unpack_from(data)
+        header_len = (offset_byte >> 4) * 4
+        if header_len < 20:
+            raise DecodeError(f"bad TCP data offset {header_len}")
+        require(data, header_len, "TCP header with options")
+        segment = cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            options=data[20:header_len],
+            payload=data[header_len:],
+        )
+        return segment, b""
+
+
+def mss_option(mss: int = 1460) -> bytes:
+    """Maximum-segment-size option bytes for SYN segments."""
+    return struct.pack("!BBH", 2, 4, mss)

@@ -1,0 +1,43 @@
+"""UDP datagram header."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .base import DecodeError, EncodeError, inet_checksum, require
+from .ipv4 import pseudo_header
+
+_HEADER = struct.Struct("!HHHH")
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """A UDP header plus payload."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def pack(self, src_ip: str = "0.0.0.0", dst_ip: str = "0.0.0.0") -> bytes:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise EncodeError(f"invalid UDP port {port}")
+        length = _HEADER.size + len(self.payload)
+        if length > 0xFFFF:
+            raise EncodeError("UDP datagram too large")
+        datagram = _HEADER.pack(self.src_port, self.dst_port, length, 0) + self.payload
+        pseudo = pseudo_header(src_ip, dst_ip, 17, length)
+        checksum = inet_checksum(pseudo + datagram) or 0xFFFF
+        return datagram[:6] + checksum.to_bytes(2, "big") + datagram[8:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["UDPDatagram", bytes]:
+        require(data, _HEADER.size, "UDP header")
+        src_port, dst_port, length, _checksum = _HEADER.unpack_from(data)
+        if length < _HEADER.size or length > len(data):
+            raise DecodeError(f"bad UDP length {length}")
+        return (
+            cls(src_port=src_port, dst_port=dst_port, payload=data[_HEADER.size : length]),
+            data[length:],
+        )

@@ -1,0 +1,36 @@
+"""Experiment runners and table/figure rendering shared by benchmarks."""
+
+from .enforcement import (
+    TABLE5_PAIRS,
+    LatencyCell,
+    Testbed,
+    build_testbed,
+    run_cpu_sweep,
+    run_flow_sweep,
+    run_latency_matrix,
+    run_memory_sweep,
+)
+from .evaluation import CVResult, crossvalidate_identification
+from .figures import ascii_plot
+from .tables import render_accuracy_bars, render_confusion, render_series, render_table
+from .timing import TimingRow, measure_identification_timing
+
+__all__ = [
+    "TABLE5_PAIRS",
+    "CVResult",
+    "LatencyCell",
+    "Testbed",
+    "TimingRow",
+    "ascii_plot",
+    "build_testbed",
+    "crossvalidate_identification",
+    "measure_identification_timing",
+    "render_accuracy_bars",
+    "render_confusion",
+    "render_series",
+    "render_table",
+    "run_cpu_sweep",
+    "run_flow_sweep",
+    "run_latency_matrix",
+    "run_memory_sweep",
+]

@@ -1,0 +1,88 @@
+"""ASCII line plots for the figure reproductions.
+
+The benchmark artifacts are plain text; these helpers render the Fig. 6
+series as terminal plots so the *shape* (flat latency, rising CPU, linear
+memory) is visible at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "x",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Each series gets its own marker; a legend follows the plot.  Axis
+    bounds default to the data range with a small margin.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    data_lo, data_hi = min(ys), max(ys)
+    margin = (data_hi - data_lo) * 0.1 or max(abs(data_hi), 1.0) * 0.1
+    y_lo = y_min if y_min is not None else data_lo - margin
+    y_hi = y_max if y_max is not None else data_hi + margin
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return (height - 1 - row), column
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        del name
+        for x, y in values:
+            row, column = cell(x, y)
+            if grid[row][column] in (" ", marker):
+                grid[row][column] = marker
+            else:
+                grid[row][column] = "&"  # overlapping series
+
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    lines = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter + f" {x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g} ({x_label})".rjust(width // 2)
+    )
+    for index, name in enumerate(series):
+        lines.append(f"  {_MARKERS[index % len(_MARKERS)]} {name}")
+    if len(series) > 1:
+        lines.append("  & overlapping points")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_accuracy_bars", "render_confusion", "render_series"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A minimal fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_accuracy_bars(per_class: Mapping[str, float], *, width: int = 40) -> str:
+    """Fig. 5 as a horizontal text bar chart, sorted like the paper."""
+    lines = []
+    for label, accuracy in per_class.items():
+        bar = "#" * int(round(accuracy * width))
+        lines.append(f"{label:<22} {accuracy:5.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def render_confusion(matrix: np.ndarray, labels: Sequence[str]) -> str:
+    """Table III style A\\P confusion matrix."""
+    headers = ["A\\P"] + [str(i + 1) for i in range(len(labels))]
+    rows = []
+    for i, label in enumerate(labels):
+        del label
+        rows.append([str(i + 1)] + [str(int(v)) for v in matrix[i]])
+    legend = "\n".join(f"  {i + 1}: {label}" for i, label in enumerate(labels))
+    return render_table(headers, rows) + "\nLegend:\n" + legend
+
+
+def render_series(series: Mapping[str, Sequence[tuple[int, float]]], *, unit: str = "") -> str:
+    """Figure series as aligned columns (x, one column per series)."""
+    keys = list(series)
+    xs = [x for x, _ in series[keys[0]]]
+    headers = ["x"] + [f"{k}{f' ({unit})' if unit else ''}" for k in keys]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [f"{series[k][i][1]:.2f}" for k in keys])
+    return render_table(headers, rows)

@@ -1,0 +1,108 @@
+"""Wall-clock timing of the identification pipeline steps (Table IV)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.extractor import fingerprint_from_records
+from repro.core.identifier import DeviceIdentifier
+from repro.core.registry import DeviceTypeRegistry
+from repro.devices.dataset import simulate_setup_capture
+from repro.devices.profiles import DEVICE_PROFILES
+
+__all__ = ["TimingRow", "measure_identification_timing"]
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """Mean ± standard deviation of one pipeline step, in milliseconds."""
+
+    step: str
+    mean_ms: float
+    std_ms: float
+
+    def __str__(self) -> str:  # matches the Table IV presentation
+        return f"{self.step}: {self.mean_ms:.3f} ms (±{self.std_ms:.3f})"
+
+
+def _stats(samples: list[float]) -> tuple[float, float]:
+    data = np.array(samples) * 1e3
+    return float(data.mean()), float(data.std(ddof=1) if len(data) > 1 else 0.0)
+
+
+def measure_identification_timing(
+    registry: DeviceTypeRegistry,
+    identifier: DeviceIdentifier,
+    *,
+    trials: int = 30,
+    seed: int | None = None,
+) -> list[TimingRow]:
+    """Reproduce the Table IV rows on a trained identifier.
+
+    Measures: one classification, one edit-distance discrimination,
+    fingerprint extraction, a full 27-classifier pass, the discrimination
+    work of an average identification, and end-to-end identification.
+    """
+    rng = np.random.default_rng(seed)
+    labels = registry.labels
+    sample_fp = registry.fingerprints(labels[0])[0]
+    fixed = sample_fp.fixed(identifier.fp_length).reshape(1, -1)
+    one_model = identifier._models[labels[0]]
+
+    single_classification: list[float] = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        one_model.classifier.predict_proba(fixed)
+        single_classification.append(time.perf_counter() - start)
+
+    single_discrimination: list[float] = []
+    reference_label = labels[int(rng.integers(len(labels)))]
+    for _ in range(trials):
+        probe_label = labels[int(rng.integers(len(labels)))]
+        probe = registry.fingerprints(probe_label)[0]
+        start = time.perf_counter()
+        identifier.discriminate(probe, [reference_label])
+        single_discrimination.append(time.perf_counter() - start)
+
+    extraction: list[float] = []
+    profiles = {p.identifier: p for p in DEVICE_PROFILES}
+    for _ in range(trials):
+        profile = profiles[labels[int(rng.integers(len(labels)))]]
+        mac, records = simulate_setup_capture(profile, rng)
+        start = time.perf_counter()
+        fingerprint_from_records(records, mac)
+        extraction.append(time.perf_counter() - start)
+
+    all_classifications: list[float] = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        identifier.classify(sample_fp)
+        all_classifications.append(time.perf_counter() - start)
+
+    full_identification: list[float] = []
+    discrimination_share: list[float] = []
+    for _ in range(trials):
+        label = labels[int(rng.integers(len(labels)))]
+        fps = registry.fingerprints(label)
+        probe = fps[int(rng.integers(len(fps)))]
+        start = time.perf_counter()
+        candidates = identifier.classify(probe)
+        mid = time.perf_counter()
+        if len(candidates) > 1:
+            identifier.discriminate(probe, candidates)
+        end = time.perf_counter()
+        full_identification.append(end - start)
+        discrimination_share.append(end - mid)
+
+    rows = [
+        TimingRow("1 Classification (Random Forest)", *_stats(single_classification)),
+        TimingRow("1 Discrimination (edit distance)", *_stats(single_discrimination)),
+        TimingRow("Fingerprint extraction", *_stats(extraction)),
+        TimingRow(f"{len(labels)} Classifications (Random Forest)", *_stats(all_classifications)),
+        TimingRow("Discriminations (edit distance, avg case)", *_stats(discrimination_share)),
+        TimingRow("Type Identification", *_stats(full_identification)),
+    ]
+    return rows

@@ -1,0 +1,36 @@
+"""SDN enforcement substrate: OpenFlow model, switch, controller, rules.
+
+A software model of the paper's Floodlight + Open vSwitch enforcement
+plane (Sect. V): flow matching, the gateway's flow table, the controller
+module chain, enforcement-rule caching and the trusted/untrusted overlays.
+"""
+
+from .controller import Controller, ControllerModule, Decision, LearningSwitchModule
+from .flowtable import FlowTable
+from .openflow import Action, ActionType, FlowMatch, FlowMod, FlowModCommand, FlowRule, PacketIn
+from .overlay import IsolationLevel, OverlayManager, PolicyDecision
+from .rules import EnforcementRule, EnforcementRuleCache, FlowPolicy
+from .switch import ForwardingResult, OpenVSwitch
+
+__all__ = [
+    "Action",
+    "ActionType",
+    "Controller",
+    "ControllerModule",
+    "Decision",
+    "EnforcementRule",
+    "EnforcementRuleCache",
+    "FlowMatch",
+    "FlowMod",
+    "FlowPolicy",
+    "FlowModCommand",
+    "FlowRule",
+    "FlowTable",
+    "ForwardingResult",
+    "IsolationLevel",
+    "LearningSwitchModule",
+    "OpenVSwitch",
+    "OverlayManager",
+    "PacketIn",
+    "PolicyDecision",
+]

@@ -1,0 +1,111 @@
+"""A Floodlight-style SDN controller with a module chain.
+
+The paper implements IoT Sentinel as "a custom module for Floodlight"
+(Sect. V).  This controller reproduces the relevant part of that
+architecture: registered modules see each packet-in event in order and may
+return a forwarding decision; the first decision wins.  A baseline
+:class:`LearningSwitchModule` provides plain L2 forwarding so the gateway
+behaves like a normal AP when no enforcement module intervenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .openflow import Action, FlowMod, FlowModCommand, FlowRule, PacketIn
+
+__all__ = ["Decision", "ControllerModule", "LearningSwitchModule", "Controller"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A module's verdict on one packet-in event.
+
+    ``actions`` are applied to the punted packet itself; ``install`` rules
+    are pushed to the switch so subsequent packets of the flow bypass the
+    controller (the standard reactive-flow-setup pattern).
+    """
+
+    actions: tuple[Action, ...]
+    install: tuple[FlowRule, ...] = ()
+
+
+class ControllerModule:
+    """Base class for controller modules (Floodlight IFloodlightModule)."""
+
+    name = "module"
+
+    def on_packet_in(self, controller: "Controller", event: PacketIn) -> Decision | None:
+        """Return a :class:`Decision` to claim the packet, or None to pass."""
+        raise NotImplementedError
+
+    def on_startup(self, controller: "Controller") -> None:
+        """Called once when the controller starts."""
+
+
+class LearningSwitchModule(ControllerModule):
+    """Plain L2 learning switch behaviour (the no-enforcement baseline)."""
+
+    name = "learning-switch"
+
+    def on_packet_in(self, controller: "Controller", event: PacketIn) -> Decision | None:
+        packet = event.packet
+        out_port = controller.switch.port_of(packet.dst_mac) if packet.dst_mac else None
+        if out_port is None or out_port == event.in_port:
+            return Decision(actions=(Action.flood(),))
+        rule = FlowRule(
+            match=controller.exact_match(event),
+            actions=(Action.output(out_port),),
+            priority=10,
+            idle_timeout=60.0,
+        )
+        return Decision(actions=(Action.output(out_port),), install=(rule,))
+
+
+@dataclass
+class Controller:
+    """Holds the module chain and the connection to one switch."""
+
+    switch: "object"  # OpenVSwitch; typed loosely to avoid import cycle
+    modules: list[ControllerModule] = field(default_factory=list)
+    flow_mods_sent: int = field(default=0, repr=False)
+    packet_ins_handled: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.switch.attach_controller(self)
+
+    def register(self, module: ControllerModule) -> None:
+        """Append a module to the chain (earlier modules take precedence)."""
+        self.modules.append(module)
+        module.on_startup(self)
+
+    def exact_match(self, event: PacketIn):
+        """An exact match for the event's flow (src/dst MAC + L3/L4)."""
+        from .openflow import FlowMatch
+
+        packet = event.packet
+        return FlowMatch(
+            eth_src=packet.src_mac or None,
+            eth_dst=packet.dst_mac or None,
+            ip_dst=packet.dst_ip,
+            tp_dst=packet.dst_port,
+        )
+
+    def handle_packet_in(self, switch: "object", event: PacketIn) -> tuple[Action, ...]:
+        """Run the module chain; apply flow installs; return packet actions."""
+        self.packet_ins_handled += 1
+        for module in self.modules:
+            decision = module.on_packet_in(self, event)
+            if decision is None:
+                continue
+            for rule in decision.install:
+                self.send_flow_mod(FlowMod(command=FlowModCommand.ADD, rule=rule))
+            return decision.actions
+        return (Action.flood(),)
+
+    def send_flow_mod(self, flow_mod: FlowMod) -> None:
+        self.flow_mods_sent += 1
+        if flow_mod.command is FlowModCommand.ADD:
+            self.switch.install(flow_mod.rule)
+        else:
+            self.switch.uninstall_cookie(flow_mod.rule.cookie)

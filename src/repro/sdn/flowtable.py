@@ -1,0 +1,58 @@
+"""Priority-ordered flow table with idle-timeout expiry."""
+
+from __future__ import annotations
+
+from repro.packets.decoder import DecodedPacket
+
+from .openflow import FlowRule
+
+__all__ = ["FlowTable"]
+
+
+class FlowTable:
+    """The switch's rule store.
+
+    Lookup returns the highest-priority matching rule (most-specific match
+    wins ties), mirroring OpenFlow semantics.  For any given flow there is
+    only one matching enforcement rule by construction (Sect. V), so the
+    common path is a short scan of the per-MAC bucket.
+    """
+
+    def __init__(self) -> None:
+        self._rules: list[FlowRule] = []
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def add(self, rule: FlowRule) -> None:
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: (-r.priority, -r.match.specificity()))
+
+    def remove(self, rule: FlowRule) -> None:
+        self._rules.remove(rule)
+
+    def remove_by_cookie(self, cookie: int) -> int:
+        """Delete all rules carrying ``cookie``; returns count removed."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.cookie != cookie]
+        return before - len(self._rules)
+
+    def lookup(self, packet: DecodedPacket, in_port: int) -> FlowRule | None:
+        for rule in self._rules:
+            if rule.match.matches(packet, in_port):
+                return rule
+        return None
+
+    def expire_idle(self, now: float) -> list[FlowRule]:
+        """Remove rules idle past their timeout; returns the evicted ones."""
+        expired = [
+            rule
+            for rule in self._rules
+            if rule.idle_timeout is not None and now - rule.last_used > rule.idle_timeout
+        ]
+        for rule in expired:
+            self._rules.remove(rule)
+        return expired

@@ -1,0 +1,103 @@
+"""Isolation levels and the trusted/untrusted virtual network overlays.
+
+Implements the policy of Fig. 3: after identification, every device is
+assigned *strict*, *restricted* or *trusted*; strict and restricted devices
+live in the untrusted overlay, trusted devices in the trusted overlay.
+Communication is permitted only within an overlay, plus — per level —
+towards the Internet (restricted: an allow-list of vendor-cloud endpoints;
+trusted: unrestricted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["IsolationLevel", "OverlayManager", "PolicyDecision"]
+
+
+class IsolationLevel(Enum):
+    """The three enforcement levels of Sect. V (Fig. 3)."""
+
+    STRICT = "strict"
+    RESTRICTED = "restricted"
+    TRUSTED = "trusted"
+
+    @property
+    def overlay(self) -> str:
+        """Which virtual overlay the level places a device in."""
+        return "trusted" if self is IsolationLevel.TRUSTED else "untrusted"
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of an overlay policy check."""
+
+    allowed: bool
+    reason: str
+
+
+@dataclass
+class OverlayManager:
+    """Tracks overlay membership and answers reachability questions."""
+
+    local_subnet_prefix: str = "192.168."
+    _levels: dict[str, IsolationLevel] = field(default_factory=dict)
+    _allowed_endpoints: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def assign(
+        self,
+        mac: str,
+        level: IsolationLevel,
+        allowed_endpoints: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        """Place a device (by MAC) at an isolation level.
+
+        ``allowed_endpoints`` is the restricted level's permitted remote IP
+        set (the vendor cloud service addresses of Fig. 2).
+        """
+        if level is not IsolationLevel.RESTRICTED and allowed_endpoints:
+            raise ValueError("endpoint allow-lists only apply to RESTRICTED devices")
+        self._levels[mac] = level
+        self._allowed_endpoints[mac] = frozenset(allowed_endpoints)
+
+    def forget(self, mac: str) -> None:
+        self._levels.pop(mac, None)
+        self._allowed_endpoints.pop(mac, None)
+
+    def level_of(self, mac: str) -> IsolationLevel | None:
+        return self._levels.get(mac)
+
+    def overlay_of(self, mac: str) -> str | None:
+        level = self._levels.get(mac)
+        return level.overlay if level else None
+
+    def members(self, overlay: str) -> list[str]:
+        return sorted(mac for mac, lvl in self._levels.items() if lvl.overlay == overlay)
+
+    def _is_local(self, ip: str | None) -> bool:
+        return bool(ip) and ip.startswith(self.local_subnet_prefix)
+
+    def check_device_to_device(self, src_mac: str, dst_mac: str) -> PolicyDecision:
+        """May two local devices talk? Only within the same overlay."""
+        src, dst = self._levels.get(src_mac), self._levels.get(dst_mac)
+        if src is None or dst is None:
+            return PolicyDecision(False, "unknown device: default-deny")
+        if src.overlay == dst.overlay:
+            return PolicyDecision(True, f"same overlay ({src.overlay})")
+        return PolicyDecision(False, f"overlay isolation ({src.overlay} -> {dst.overlay})")
+
+    def check_internet(self, src_mac: str, dst_ip: str) -> PolicyDecision:
+        """May a device reach a remote (non-local) address?"""
+        level = self._levels.get(src_mac)
+        if level is None:
+            return PolicyDecision(False, "unknown device: default-deny")
+        if self._is_local(dst_ip):
+            raise ValueError(f"{dst_ip} is local; use check_device_to_device")
+        if level is IsolationLevel.TRUSTED:
+            return PolicyDecision(True, "trusted: full Internet access")
+        if level is IsolationLevel.STRICT:
+            return PolicyDecision(False, "strict: no Internet access")
+        if dst_ip in self._allowed_endpoints.get(src_mac, frozenset()):
+            return PolicyDecision(True, "restricted: permitted cloud endpoint")
+        return PolicyDecision(False, "restricted: endpoint not in allow-list")

@@ -1,0 +1,30 @@
+"""The IoT Security Service Provider (IoTSSP) side of IoT Sentinel.
+
+Fingerprint classification service, vulnerability repository, isolation
+policy and the gateway↔service protocol (Sect. III-B).
+"""
+
+from .assessment import Assessment, assess_device_type
+from .protocol import (
+    AnonymizingTransport,
+    DirectTransport,
+    FingerprintReport,
+    IsolationDirective,
+    Transport,
+)
+from .service import IoTSecurityService
+from .vulndb import VulnerabilityDatabase, VulnerabilityRecord, seed_database
+
+__all__ = [
+    "AnonymizingTransport",
+    "Assessment",
+    "DirectTransport",
+    "FingerprintReport",
+    "IoTSecurityService",
+    "IsolationDirective",
+    "Transport",
+    "VulnerabilityDatabase",
+    "VulnerabilityRecord",
+    "assess_device_type",
+    "seed_database",
+]

@@ -1,0 +1,58 @@
+"""Vulnerability assessment → isolation level policy (Sect. III-B).
+
+"In case vulnerabilities exist, isolation level *restricted* is assigned.
+If no vulnerabilities for the device-type are reported, it is assigned the
+level *trusted*.  Unknown devices will be assigned the level *strict*."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.identifier import UNKNOWN_DEVICE
+from repro.sdn.overlay import IsolationLevel
+
+from .vulndb import VulnerabilityDatabase
+
+__all__ = ["Assessment", "assess_device_type"]
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """The IoTSSP's verdict for one device type."""
+
+    device_type: str
+    level: IsolationLevel
+    permitted_endpoints: frozenset[str] = frozenset()
+    vulnerability_ids: tuple[str, ...] = ()
+
+
+def assess_device_type(
+    device_type: str,
+    vulndb: VulnerabilityDatabase,
+    *,
+    endpoint_directory: Mapping[str, frozenset[str]] | None = None,
+    min_severity: float = 0.0,
+) -> Assessment:
+    """Apply the paper's three-way policy to an identified device type.
+
+    ``endpoint_directory`` maps device types to their vendor-cloud
+    endpoints; a restricted device keeps access to exactly those (Fig. 2).
+    ``min_severity`` lets an operator ignore low-impact reports — only
+    vulnerabilities at or above the threshold trigger *restricted*.
+    """
+    if device_type == UNKNOWN_DEVICE:
+        return Assessment(device_type=device_type, level=IsolationLevel.STRICT)
+    reports = [r for r in vulndb.query(device_type) if r.severity >= min_severity]
+    if reports:
+        endpoints = frozenset()
+        if endpoint_directory is not None:
+            endpoints = frozenset(endpoint_directory.get(device_type, frozenset()))
+        return Assessment(
+            device_type=device_type,
+            level=IsolationLevel.RESTRICTED,
+            permitted_endpoints=endpoints,
+            vulnerability_ids=tuple(sorted(r.vuln_id for r in reports)),
+        )
+    return Assessment(device_type=device_type, level=IsolationLevel.TRUSTED)

@@ -1,0 +1,79 @@
+"""Crowdsourced incident cross-correlation (Sect. III-B).
+
+"Crowdsourced information can also be used by cross-correlating security
+incidents and related device-types as reported by Security Gateways of
+affected networks."  Gateways anonymously submit :class:`IncidentReport`s
+(device type + incident class, no client identity); once independent
+reports for a type cross a threshold, the IoTSSP synthesizes a
+vulnerability record for it, which flips the type's assessment to
+*restricted* on the next directive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .vulndb import VulnerabilityDatabase, VulnerabilityRecord
+
+__all__ = ["IncidentReport", "IncidentAggregator"]
+
+#: Recognized incident classes and the severity a confirmed cluster implies.
+INCIDENT_SEVERITY = {
+    "malware-traffic": 7.5,
+    "scanning-behaviour": 5.5,
+    "data-exfiltration": 8.5,
+    "credential-abuse": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class IncidentReport:
+    """One anonymous incident observation from a Security Gateway."""
+
+    device_type: str
+    incident_class: str
+    observed_year: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.incident_class not in INCIDENT_SEVERITY:
+            raise ValueError(f"unknown incident class {self.incident_class!r}")
+
+
+@dataclass
+class IncidentAggregator:
+    """Threshold-based correlation of incident reports into vuln records.
+
+    ``threshold`` independent reports of the same (type, class) pair
+    produce one synthesized vulnerability entry in ``vulndb``.  Reports
+    carry no gateway identity — the service stays client-stateless.
+    """
+
+    vulndb: VulnerabilityDatabase
+    threshold: int = 3
+    _counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    _confirmed: set[tuple[str, str]] = field(default_factory=set)
+    reports_received: int = 0
+
+    def submit(self, report: IncidentReport) -> VulnerabilityRecord | None:
+        """Record one report; returns the new record when a cluster confirms."""
+        self.reports_received += 1
+        key = (report.device_type, report.incident_class)
+        if key in self._confirmed:
+            return None
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self._counts[key] < self.threshold:
+            return None
+        self._confirmed.add(key)
+        record = VulnerabilityRecord(
+            vuln_id=f"REPRO-CROWD-{len(self._confirmed):04d}",
+            device_type=report.device_type,
+            summary=f"crowdsourced: {report.incident_class} reported by "
+            f"{self._counts[key]} independent gateways",
+            severity=INCIDENT_SEVERITY[report.incident_class],
+            year=report.observed_year,
+        )
+        self.vulndb.add(record)
+        return record
+
+    def count(self, device_type: str, incident_class: str) -> int:
+        return self._counts.get((device_type, incident_class), 0)

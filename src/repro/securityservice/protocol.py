@@ -1,0 +1,71 @@
+"""Gateway ↔ IoT Security Service message types and transports.
+
+The service is deliberately client-stateless: a gateway submits a
+:class:`FingerprintReport` and receives an :class:`IsolationDirective`;
+nothing about the gateway is retained (Sect. III-B).  Transports are
+pluggable — :class:`DirectTransport` for in-process use and
+:class:`AnonymizingTransport` modelling the paper's suggested Tor path
+(identity stripped, extra latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.fingerprint import Fingerprint
+from repro.sdn.overlay import IsolationLevel
+
+__all__ = [
+    "FingerprintReport",
+    "IsolationDirective",
+    "Transport",
+    "DirectTransport",
+    "AnonymizingTransport",
+]
+
+
+@dataclass(frozen=True)
+class FingerprintReport:
+    """What a Security Gateway submits for one new device."""
+
+    fingerprint: Fingerprint
+    gateway_id: str | None = None  # optional; anonymized transports strip it
+
+
+@dataclass(frozen=True)
+class IsolationDirective:
+    """What the IoTSSP returns: type, level, allow-list, cache lifetime."""
+
+    device_type: str
+    level: IsolationLevel
+    permitted_endpoints: frozenset[str] = frozenset()
+    ttl_seconds: float = 86400.0
+    vulnerability_ids: tuple[str, ...] = ()
+
+
+class Transport:
+    """Carries a report to a service object and a directive back."""
+
+    #: Simulated one-way latency in seconds (used by netsim experiments).
+    latency: float = 0.0
+
+    def __init__(self, service: "object") -> None:
+        self._service = service
+
+    def submit(self, report: FingerprintReport) -> IsolationDirective:
+        return self._service.handle_report(report)
+
+
+class DirectTransport(Transport):
+    """In-process call, negligible latency."""
+
+    latency = 0.005
+
+
+class AnonymizingTransport(Transport):
+    """Tor-like path: strips the gateway identity, adds onion latency."""
+
+    latency = 0.350
+
+    def submit(self, report: FingerprintReport) -> IsolationDirective:
+        return super().submit(replace(report, gateway_id=None))

@@ -1,0 +1,88 @@
+"""Offline CVE-like vulnerability repository.
+
+Stands in for "querying repositories like the CVE database [7] for
+vulnerability reports related to the device-type" (Sect. III-B).  Records
+are synthetic but structurally faithful (id, affected device type,
+severity, summary); the seed data marks a plausible subset of the Table II
+devices as vulnerable so that all three isolation levels are exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VulnerabilityRecord", "VulnerabilityDatabase", "seed_database"]
+
+
+@dataclass(frozen=True)
+class VulnerabilityRecord:
+    """One vulnerability report tied to a device type."""
+
+    vuln_id: str
+    device_type: str
+    summary: str
+    severity: float  # CVSS-like 0.0 - 10.0
+    year: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 10.0:
+            raise ValueError("severity must be within [0, 10]")
+
+
+class VulnerabilityDatabase:
+    """Device-type-indexed store of vulnerability records."""
+
+    def __init__(self) -> None:
+        self._by_type: dict[str, list[VulnerabilityRecord]] = {}
+        self._by_id: dict[str, VulnerabilityRecord] = {}
+
+    def add(self, record: VulnerabilityRecord) -> None:
+        if record.vuln_id in self._by_id:
+            raise ValueError(f"duplicate vulnerability id {record.vuln_id}")
+        self._by_id[record.vuln_id] = record
+        self._by_type.setdefault(record.device_type, []).append(record)
+
+    def query(self, device_type: str) -> list[VulnerabilityRecord]:
+        """All known reports for a device type (empty list = clean)."""
+        return list(self._by_type.get(device_type, []))
+
+    def is_vulnerable(self, device_type: str, *, min_severity: float = 0.0) -> bool:
+        return any(r.severity >= min_severity for r in self._by_type.get(device_type, []))
+
+    def get(self, vuln_id: str) -> VulnerabilityRecord:
+        return self._by_id[vuln_id]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def affected_types(self) -> list[str]:
+        return sorted(t for t, records in self._by_type.items() if records)
+
+
+#: Synthetic seed reports (ids use a non-CVE prefix to avoid masquerading
+#: as real advisories).  Chosen to cover well-publicised device classes:
+#: cameras with hardcoded credentials, plugs with unauthenticated local
+#: control protocols, the cleartext-WiFi-credential kettle, etc.
+_SEED_ROWS = (
+    ("REPRO-2015-0001", "iKettle2", "WiFi PSK disclosed over unauthenticated local TCP", 8.1, 2015),
+    ("REPRO-2015-0002", "SmarterCoffee", "Unauthenticated local control protocol", 7.4, 2015),
+    ("REPRO-2016-0003", "EdimaxCam", "Hardcoded administrative credentials", 9.0, 2016),
+    ("REPRO-2016-0004", "EdimaxPlug1101W", "Cleartext cloud registration protocol", 6.5, 2016),
+    ("REPRO-2016-0005", "EdimaxPlug2101W", "Cleartext cloud registration protocol", 6.5, 2016),
+    ("REPRO-2016-0006", "EdnetCam", "Unauthenticated RTSP stream exposure", 7.8, 2016),
+    ("REPRO-2016-0007", "D-LinkDayCam", "Predictable session tokens in web UI", 7.1, 2016),
+    ("REPRO-2016-0008", "TP-LinkPlugHS110", "Unauthenticated local port-9999 commands", 6.8, 2016),
+    ("REPRO-2016-0009", "TP-LinkPlugHS100", "Unauthenticated local port-9999 commands", 6.8, 2016),
+    ("REPRO-2016-0010", "WeMoSwitch", "UPnP action injection", 8.3, 2016),
+    ("REPRO-2016-0011", "EdnetGateway", "Default credentials on MQTT bridge", 7.0, 2016),
+    ("REPRO-2016-0012", "HomeMaticPlug", "Replayable pairing broadcast", 5.9, 2016),
+)
+
+
+def seed_database() -> VulnerabilityDatabase:
+    """The default repository used by examples, tests and benchmarks."""
+    db = VulnerabilityDatabase()
+    for vuln_id, device_type, summary, severity, year in _SEED_ROWS:
+        db.add(VulnerabilityRecord(vuln_id, device_type, summary, severity, year))
+    return db

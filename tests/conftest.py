@@ -1,0 +1,39 @@
+"""Shared fixtures: small fingerprint corpora and trained identifiers.
+
+Session-scoped so the expensive training work happens once per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DeviceIdentifier
+from repro.devices import DEVICE_PROFILES, collect_dataset
+
+# A compact but representative slice of the catalogue: a few distinct
+# types plus one full sibling group (the TP-Link plugs).
+SMALL_PROFILE_NAMES = (
+    "Aria",
+    "HueBridge",
+    "WeMoSwitch",
+    "EdimaxCam",
+    "TP-LinkPlugHS110",
+    "TP-LinkPlugHS100",
+)
+
+
+@pytest.fixture(scope="session")
+def small_registry():
+    profiles = [p for p in DEVICE_PROFILES if p.identifier in SMALL_PROFILE_NAMES]
+    return collect_dataset(profiles, runs_per_device=12, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_identifier(small_registry):
+    return DeviceIdentifier(random_state=11).fit(small_registry)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,97 @@
+"""Baseline identifier tests (multi-class and aggregate-statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeviceTypeRegistry, Fingerprint, NUM_FEATURES
+from repro.core.baselines import AGGREGATE_DIM, MulticlassIdentifier, aggregate_features
+
+
+class TestAggregateFeatures:
+    def test_dimension(self, small_registry):
+        fp = small_registry.fingerprints("Aria")[0]
+        assert aggregate_features(fp).shape == (AGGREGATE_DIM,)
+
+    def test_empty_fingerprint(self):
+        assert not aggregate_features(Fingerprint(packets=())).any()
+
+    def test_order_invariance(self, small_registry):
+        """The defining property: shuffling packets changes nothing."""
+        fp = small_registry.fingerprints("HueBridge")[0]
+        rows = list(fp.packets)
+        rng = np.random.default_rng(3)
+        shuffled_rows = [rows[i] for i in rng.permutation(len(rows))]
+        shuffled = Fingerprint(packets=tuple(shuffled_rows))
+        # dst counter column is position-dependent in extraction but fixed
+        # here, so the aggregate must be identical after shuffling.
+        assert np.allclose(aggregate_features(fp), aggregate_features(shuffled))
+
+    def test_rates_in_unit_interval(self, small_registry):
+        for label in small_registry.labels:
+            vector = aggregate_features(small_registry.fingerprints(label)[0])
+            assert (vector[:18] >= 0).all() and (vector[:18] <= 1).all()
+
+    def test_length_and_destinations_recorded(self, small_registry):
+        fp = small_registry.fingerprints("HueBridge")[0]
+        vector = aggregate_features(fp)
+        assert vector[22] == len(fp)
+        assert vector[23] >= 1
+
+
+class TestMulticlassIdentifier:
+    def test_sequence_mode_identifies(self, small_registry):
+        model = MulticlassIdentifier(features="sequence", random_state=1).fit(small_registry)
+        correct = sum(
+            model.identify(fp) == label
+            for label in small_registry.labels
+            for fp in small_registry.fingerprints(label)[:3]
+        )
+        assert correct >= 3 * len(small_registry.labels) - 4
+
+    def test_aggregate_mode_identifies_distinct_types(self, small_registry):
+        model = MulticlassIdentifier(features="aggregate", random_state=1).fit(small_registry)
+        for label in ("Aria", "HueBridge", "EdimaxCam"):
+            predictions = [
+                model.identify(fp) for fp in small_registry.fingerprints(label)[:4]
+            ]
+            assert predictions.count(label) >= 3
+
+    def test_batch_matches_single(self, small_registry):
+        model = MulticlassIdentifier(random_state=1).fit(small_registry)
+        fps = [small_registry.fingerprints(label)[0] for label in small_registry.labels]
+        assert model.identify_batch(fps) == [model.identify(fp) for fp in fps]
+
+    def test_no_reject_path(self, small_registry, rng):
+        """The paper's complaint: every input gets a known label."""
+        from repro.devices import collect_fingerprints, profile_by_name
+
+        model = MulticlassIdentifier(random_state=1).fit(small_registry)
+        alien = collect_fingerprints(profile_by_name("HomeMaticPlug"), runs=2, rng=rng)
+        for fp in alien:
+            assert model.identify(fp) in small_registry.labels
+
+    def test_add_type_forces_full_retrain(self, small_registry, rng):
+        from repro.devices import collect_fingerprints, profile_by_name
+
+        model = MulticlassIdentifier(random_state=1).fit(small_registry)
+        assert model.full_retrains == 1
+        grown = DeviceTypeRegistry()
+        for label in small_registry.labels:
+            grown.add_many(label, small_registry.fingerprints(label))
+        grown.add_many(
+            "MAXGateway", collect_fingerprints(profile_by_name("MAXGateway"), runs=8, rng=rng)
+        )
+        model.add_type(grown, "MAXGateway")
+        assert model.full_retrains == 2
+        probe = collect_fingerprints(profile_by_name("MAXGateway"), runs=1, rng=rng)[0]
+        assert model.identify(probe) == "MAXGateway"
+
+    def test_validation(self, small_registry):
+        with pytest.raises(ValueError):
+            MulticlassIdentifier(features="frequency")
+        with pytest.raises(RuntimeError):
+            MulticlassIdentifier().identify(small_registry.fingerprints("Aria")[0])
+        single = DeviceTypeRegistry()
+        single.add_many("only", small_registry.fingerprints("Aria"))
+        with pytest.raises(ValueError):
+            MulticlassIdentifier().fit(single)

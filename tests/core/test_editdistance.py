@@ -1,0 +1,122 @@
+"""Damerau–Levenshtein edit distance tests (the discrimination metric)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    damerau_levenshtein,
+    damerau_levenshtein_unrestricted,
+    dissimilarity_score,
+    normalized_distance,
+)
+
+seqs = st.lists(st.integers(min_value=0, max_value=5), max_size=12)
+
+
+class TestUnrestrictedVariant:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("ab", "ba", 1),
+            ("ca", "abc", 2),  # the classic case where OSA says 3
+            ("a cat", "an act", 2),
+            ("kitten", "sitting", 3),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert damerau_levenshtein_unrestricted(list(a), list(b)) == expected
+
+    @given(seqs, seqs)
+    def test_never_exceeds_osa(self, a, b):
+        assert damerau_levenshtein_unrestricted(a, b) <= damerau_levenshtein(a, b)
+
+    @given(seqs, seqs)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein_unrestricted(a, b) == damerau_levenshtein_unrestricted(b, a)
+
+    @given(seqs)
+    def test_identity(self, a):
+        assert damerau_levenshtein_unrestricted(a, a) == 0
+
+    @given(seqs, seqs)
+    def test_length_lower_bound(self, a, b):
+        assert damerau_levenshtein_unrestricted(a, b) >= abs(len(a) - len(b))
+
+    @given(seqs, seqs, seqs)
+    def test_triangle_inequality(self, a, b, c):
+        # Unlike OSA, the unrestricted distance is a true metric.
+        ab = damerau_levenshtein_unrestricted(a, b)
+        bc = damerau_levenshtein_unrestricted(b, c)
+        ac = damerau_levenshtein_unrestricted(a, c)
+        assert ac <= ab + bc
+
+
+class TestKnownDistances:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("abc", "abd", 1),  # substitution
+            ("abc", "abcd", 1),  # insertion
+            ("abcd", "abc", 1),  # deletion
+            ("ab", "ba", 1),  # immediate transposition
+            ("abcd", "acbd", 1),  # interior transposition
+            ("ca", "abc", 3),  # OSA classic (true DL would be 2)
+            ("kitten", "sitting", 3),
+        ],
+    )
+    def test_strings(self, a, b, expected):
+        assert damerau_levenshtein(list(a), list(b)) == expected
+
+    def test_packet_symbols(self):
+        # Symbols are tuples (packet columns); equality is all-features.
+        p1, p2, p3 = (1.0, 2.0), (1.0, 3.0), (9.0, 9.0)
+        assert damerau_levenshtein([p1, p2], [p1, p2]) == 0
+        assert damerau_levenshtein([p1, p2], [p1, p3]) == 1
+        assert damerau_levenshtein([p1, p2], [p2, p1]) == 1
+
+
+class TestNormalized:
+    def test_bounds(self):
+        assert normalized_distance("abc", "xyz") == 1.0
+        assert normalized_distance("abc", "abc") == 0.0
+        assert normalized_distance([], []) == 0.0
+
+    def test_divides_by_longer(self):
+        assert normalized_distance("ab", "abcd") == pytest.approx(2 / 4)
+
+    @given(seqs, seqs)
+    def test_always_in_unit_interval(self, a, b):
+        assert 0.0 <= normalized_distance(a, b) <= 1.0
+
+    @given(seqs, seqs)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @given(seqs)
+    def test_identity(self, a):
+        assert damerau_levenshtein(a, a) == 0
+
+    @given(seqs, seqs)
+    def test_length_difference_lower_bound(self, a, b):
+        assert damerau_levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestDissimilarityScore:
+    def test_sums_over_references(self):
+        score = dissimilarity_score("abc", ["abc", "abd", "xyz"])
+        assert score == pytest.approx(0 + 1 / 3 + 1.0)
+
+    def test_score_bounded_by_reference_count(self):
+        refs = ["zzz"] * 5
+        assert dissimilarity_score("abc", refs) == pytest.approx(5.0)
+
+    def test_empty_references(self):
+        assert dissimilarity_score("abc", []) == 0.0

@@ -1,0 +1,132 @@
+"""The 23 features of Table I: order, types, and extraction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FEATURE_NAMES,
+    INTEGER_FEATURES,
+    NUM_FEATURES,
+    DestinationCounter,
+    packet_features,
+    port_class,
+)
+from repro.packets import builder, decode
+
+MAC = "aa:bb:cc:dd:ee:01"
+GW = "02:00:00:00:00:01"
+IP = "192.168.1.50"
+
+
+class TestTableI:
+    """Structural assertions tying the implementation to Table I."""
+
+    def test_exactly_23_features(self):
+        assert NUM_FEATURES == 23
+        assert len(FEATURE_NAMES) == 23
+
+    def test_paper_order(self):
+        assert FEATURE_NAMES[:2] == ("arp", "llc")  # link layer (2)
+        assert FEATURE_NAMES[2:6] == ("ip", "icmp", "icmpv6", "eapol")  # network (4)
+        assert FEATURE_NAMES[6:8] == ("tcp", "udp")  # transport (2)
+        assert FEATURE_NAMES[8:16] == (
+            "http", "https", "dhcp", "bootp", "ssdp", "dns", "mdns", "ntp",
+        )  # application (8)
+        assert FEATURE_NAMES[16:18] == ("ip_option_padding", "ip_option_router_alert")
+        assert FEATURE_NAMES[18:20] == ("packet_size", "raw_data")
+        assert FEATURE_NAMES[20] == "dst_ip_counter"
+        assert FEATURE_NAMES[21:] == ("src_port_class", "dst_port_class")
+
+    def test_integer_features_match_paper(self):
+        assert INTEGER_FEATURES == {
+            "packet_size", "dst_ip_counter", "src_port_class", "dst_port_class",
+        }
+
+    def test_binary_features_are_binary(self):
+        counter = DestinationCounter()
+        packet = decode(builder.dhcp_discover_frame(MAC, 1, "dev"))
+        vector = packet_features(packet, counter)
+        for i, name in enumerate(FEATURE_NAMES):
+            if name not in INTEGER_FEATURES:
+                assert vector[i] in (0.0, 1.0), name
+
+
+class TestPortClass:
+    @pytest.mark.parametrize(
+        "port,expected",
+        [(None, 0), (0, 1), (80, 1), (1023, 1), (1024, 2), (49151, 2), (49152, 3), (65535, 3)],
+    )
+    def test_boundaries(self, port, expected):
+        assert port_class(port) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            port_class(65536)
+        with pytest.raises(ValueError):
+            port_class(-1)
+
+
+class TestDestinationCounter:
+    def test_counts_in_observation_order(self):
+        counter = DestinationCounter()
+        assert counter.number_for("8.8.8.8") == 1
+        assert counter.number_for("1.1.1.1") == 2
+        assert counter.number_for("8.8.8.8") == 1  # repeat keeps its number
+        assert counter.number_for("9.9.9.9") == 3
+        assert counter.distinct_destinations == 3
+
+    def test_no_ip_is_zero(self):
+        counter = DestinationCounter()
+        assert counter.number_for(None) == 0
+        assert counter.distinct_destinations == 0
+
+
+class TestVectorValues:
+    def test_dhcp_vector(self):
+        counter = DestinationCounter()
+        frame = builder.dhcp_discover_frame(MAC, 1, "dev")
+        vector = packet_features(decode(frame), counter)
+        named = dict(zip(FEATURE_NAMES, vector))
+        assert named["udp"] == 1 and named["dhcp"] == 1 and named["bootp"] == 1
+        assert named["tcp"] == 0 and named["arp"] == 0
+        assert named["packet_size"] == len(frame)
+        assert named["dst_ip_counter"] == 1  # broadcast counts as a destination
+        assert named["src_port_class"] == 1 and named["dst_port_class"] == 1
+
+    def test_https_vector_port_classes(self):
+        counter = DestinationCounter()
+        frame = builder.https_client_hello_frame(MAC, GW, IP, "52.1.1.1", "c.example",
+                                                 src_port=49700)
+        named = dict(zip(FEATURE_NAMES, packet_features(decode(frame), counter)))
+        assert named["https"] == 1 and named["raw_data"] == 1
+        assert named["src_port_class"] == 3  # dynamic
+        assert named["dst_port_class"] == 1  # 443 well-known
+
+    def test_arp_vector_is_mostly_zero(self):
+        counter = DestinationCounter()
+        named = dict(zip(FEATURE_NAMES, packet_features(decode(builder.arp_probe_frame(MAC, IP)), counter)))
+        assert named["arp"] == 1
+        assert named["ip"] == 0 and named["dst_ip_counter"] == 0
+        assert named["src_port_class"] == 0 and named["dst_port_class"] == 0
+
+    def test_counter_shared_across_packets(self):
+        counter = DestinationCounter()
+        f1 = decode(builder.dns_query_frame(MAC, GW, IP, "192.168.1.1", "a.example"))
+        f2 = decode(builder.https_client_hello_frame(MAC, GW, IP, "52.1.1.1", "a.example"))
+        f3 = decode(builder.dns_query_frame(MAC, GW, IP, "192.168.1.1", "b.example"))
+        v1 = packet_features(f1, counter)
+        v2 = packet_features(f2, counter)
+        v3 = packet_features(f3, counter)
+        idx = FEATURE_NAMES.index("dst_ip_counter")
+        assert v1[idx] == 1  # DNS server
+        assert v2[idx] == 2  # cloud endpoint
+        assert v3[idx] == 1  # DNS server again
+
+    def test_payload_never_inspected(self):
+        """Same headers + different payload bytes = identical vector but size."""
+        counter_a, counter_b = DestinationCounter(), DestinationCounter()
+        f_a = builder.tcp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 8883, b"\x00" * 32)
+        f_b = builder.tcp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 8883, b"\xff" * 32)
+        v_a = packet_features(decode(f_a), counter_a)
+        v_b = packet_features(decode(f_b), counter_b)
+        assert np.array_equal(v_a, v_b)

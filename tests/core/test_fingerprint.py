@@ -1,0 +1,105 @@
+"""Fingerprint matrix F and fixed vector F' tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_FP_PACKETS,
+    NUM_FEATURES,
+    Fingerprint,
+    dedupe_consecutive,
+    fixed_vector,
+)
+
+
+def vec(seed: float) -> np.ndarray:
+    v = np.zeros(NUM_FEATURES)
+    v[18] = seed  # packet size slot
+    return v
+
+
+class TestDedup:
+    def test_consecutive_duplicates_removed(self):
+        out = dedupe_consecutive([vec(1), vec(1), vec(2), vec(2), vec(1)])
+        assert [v[18] for v in out] == [1, 2, 1]
+
+    def test_non_consecutive_duplicates_kept(self):
+        out = dedupe_consecutive([vec(1), vec(2), vec(1)])
+        assert len(out) == 3
+
+    def test_empty(self):
+        assert dedupe_consecutive([]) == []
+
+
+class TestFixedVector:
+    def test_length_is_12_times_23(self):
+        assert fixed_vector([vec(1)]).shape == (DEFAULT_FP_PACKETS * NUM_FEATURES,)
+        assert DEFAULT_FP_PACKETS * NUM_FEATURES == 276
+
+    def test_padding_with_zeros(self):
+        out = fixed_vector([vec(5)])
+        assert out[18] == 5
+        assert not out[NUM_FEATURES:].any()
+
+    def test_unique_packets_only(self):
+        # First 12 *unique* vectors: duplicates anywhere are skipped.
+        out = fixed_vector([vec(1), vec(2), vec(1), vec(3)])
+        sizes = [out[i * NUM_FEATURES + 18] for i in range(4)]
+        assert sizes == [1, 2, 3, 0]
+
+    def test_truncation_at_length(self):
+        vectors = [vec(i + 1) for i in range(20)]
+        out = fixed_vector(vectors)
+        assert out[(DEFAULT_FP_PACKETS - 1) * NUM_FEATURES + 18] == 12
+
+    def test_custom_length(self):
+        out = fixed_vector([vec(i + 1) for i in range(20)], length=4)
+        assert out.shape == (4 * NUM_FEATURES,)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            fixed_vector([vec(1)], length=0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), max_size=30))
+    def test_fixed_vector_shape_invariant(self, seeds):
+        out = fixed_vector([vec(s) for s in seeds])
+        assert out.shape == (276,)
+
+
+class TestFingerprint:
+    def test_from_vectors_applies_dedup(self):
+        fp = Fingerprint.from_vectors([vec(1), vec(1), vec(2)])
+        assert len(fp) == 2
+
+    def test_matrix_orientation(self):
+        fp = Fingerprint.from_vectors([vec(1), vec(2), vec(3)])
+        assert fp.matrix.shape == (NUM_FEATURES, 3)  # paper's 23 x n
+        assert fp.rows.shape == (3, NUM_FEATURES)
+        assert np.array_equal(fp.matrix.T, fp.rows)
+
+    def test_empty_fingerprint(self):
+        fp = Fingerprint.from_vectors([])
+        assert len(fp) == 0
+        assert fp.matrix.shape == (NUM_FEATURES, 0)
+        assert fp.fixed().shape == (276,)
+        assert not fp.fixed().any()
+
+    def test_wrong_vector_length_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprint.from_vectors([np.zeros(5)])
+
+    def test_symbols_are_hashable(self):
+        fp = Fingerprint.from_vectors([vec(1), vec(2)])
+        assert len({fp.symbols()[0], fp.symbols()[1]}) == 2
+
+    def test_metadata_preserved(self):
+        fp = Fingerprint.from_vectors([vec(1)], device_mac="aa:bb:cc:dd:ee:ff", label="Aria")
+        assert fp.device_mac == "aa:bb:cc:dd:ee:ff"
+        assert fp.label == "Aria"
+
+    def test_fixed_equals_module_function(self):
+        vectors = [vec(i) for i in (3, 1, 4, 1, 5)]
+        fp = Fingerprint.from_vectors(vectors)
+        assert np.array_equal(fp.fixed(), fixed_vector(dedupe_consecutive(vectors)))

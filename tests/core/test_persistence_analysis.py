@@ -1,0 +1,117 @@
+"""Serialization round-trips and fingerprint/classifier analysis."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FEATURE_NAMES,
+    DeviceIdentifier,
+    Fingerprint,
+    classifier_feature_importance,
+    fingerprint_summary,
+    load_identifier,
+    load_registry,
+    save_identifier,
+    save_registry,
+)
+from repro.core.persistence import (
+    fingerprint_from_dict,
+    fingerprint_to_dict,
+    identifier_from_dict,
+    identifier_to_dict,
+    registry_from_dict,
+    registry_to_dict,
+)
+
+
+class TestFingerprintSerialization:
+    def test_roundtrip(self, small_registry):
+        original = small_registry.fingerprints("Aria")[0]
+        restored = fingerprint_from_dict(fingerprint_to_dict(original))
+        assert restored.packets == original.packets
+        assert restored.device_mac == original.device_mac
+        assert restored.label == original.label
+
+    def test_json_safe(self, small_registry):
+        blob = json.dumps(fingerprint_to_dict(small_registry.fingerprints("Aria")[0]))
+        assert isinstance(blob, str)
+
+    def test_empty_fingerprint(self):
+        restored = fingerprint_from_dict(fingerprint_to_dict(Fingerprint(packets=())))
+        assert len(restored) == 0
+
+
+class TestRegistrySerialization:
+    def test_roundtrip(self, small_registry):
+        restored = registry_from_dict(registry_to_dict(small_registry))
+        assert restored.labels == small_registry.labels
+        for label in restored.labels:
+            assert restored.count(label) == small_registry.count(label)
+            assert (
+                restored.fingerprints(label)[0].packets
+                == small_registry.fingerprints(label)[0].packets
+            )
+
+    def test_file_roundtrip(self, small_registry, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_registry(small_registry, path)
+        restored = load_registry(path)
+        assert restored.labels == small_registry.labels
+
+
+class TestIdentifierSerialization:
+    def test_predictions_preserved(self, small_registry, small_identifier):
+        restored = identifier_from_dict(identifier_to_dict(small_identifier))
+        assert restored.labels == small_identifier.labels
+        for label in small_registry.labels:
+            fp = small_registry.fingerprints(label)[0]
+            assert restored.classify(fp) == small_identifier.classify(fp)
+
+    def test_file_roundtrip(self, small_registry, small_identifier, tmp_path):
+        path = tmp_path / "model.json"
+        save_identifier(small_identifier, path)
+        restored = load_identifier(path)
+        fp = small_registry.fingerprints("HueBridge")[0]
+        assert restored.identify(fp).label == "HueBridge"
+
+    def test_params_preserved(self, small_identifier):
+        restored = identifier_from_dict(identifier_to_dict(small_identifier))
+        assert restored.fp_length == small_identifier.fp_length
+        assert restored.accept_threshold == small_identifier.accept_threshold
+        assert restored.n_references == small_identifier.n_references
+
+    def test_untrained_rejected(self):
+        with pytest.raises(ValueError):
+            identifier_to_dict(DeviceIdentifier())
+
+
+class TestAnalysis:
+    def test_feature_importance_sums_to_one(self, small_identifier):
+        report = classifier_feature_importance(small_identifier, "Aria")
+        total = sum(report.by_feature.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert set(report.by_feature) == set(FEATURE_NAMES)
+
+    def test_top_features_are_plausible(self, small_identifier):
+        report = classifier_feature_importance(small_identifier, "HueBridge")
+        top_names = [name for name, _ in report.top(5)]
+        # Packet size and destination structure are the integer features
+        # with the most spread; at least one should rank highly.
+        assert any(
+            name in ("packet_size", "dst_ip_counter", "src_port_class", "dst_port_class")
+            for name in top_names
+        )
+
+    def test_unknown_label(self, small_identifier):
+        with pytest.raises(KeyError):
+            classifier_feature_importance(small_identifier, "NoSuchDevice")
+
+    def test_fingerprint_summary(self, small_registry):
+        summary = fingerprint_summary(small_registry, "Aria")
+        assert summary["fingerprints"] == small_registry.count("Aria")
+        assert summary["length_min"] <= summary["length_mean"] <= summary["length_max"]
+        assert 0.0 <= summary["protocol_rates"]["dhcp"] <= 1.0
+        assert summary["distinct_destinations_mean"] >= 1.0
+        assert summary["packet_size_mean"] > 0

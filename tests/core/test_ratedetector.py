@@ -1,0 +1,88 @@
+"""Rate-drop setup-end detector (the paper's literal criterion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FingerprintExtractor, RateDropDetector, fingerprint_from_records
+from repro.devices import profile_by_name, simulate_setup_capture
+from repro.packets import CaptureRecord, builder
+
+
+class TestRateDropDetector:
+    def test_burst_then_trickle_detected(self):
+        detector = RateDropDetector(window=10.0, drop_fraction=0.2, warmup=4)
+        # A dense setup burst: 20 packets in 2 seconds.
+        for i in range(20):
+            assert not detector.observe(i * 0.1)
+        # Then a lone heartbeat half a minute later: rate collapsed.
+        assert detector.observe(35.0)
+
+    def test_steady_rate_never_triggers(self):
+        detector = RateDropDetector(window=10.0, drop_fraction=0.2, warmup=4, max_packets=1000)
+        for i in range(100):
+            assert not detector.observe(i * 1.0), i
+
+    def test_warmup_grace(self):
+        detector = RateDropDetector(window=5.0, drop_fraction=0.5, warmup=10)
+        # Sparse early packets must not end the phase before warmup.
+        for i in range(9):
+            assert not detector.observe(i * 4.0)
+
+    def test_max_packets_cap(self):
+        detector = RateDropDetector(max_packets=5)
+        for i in range(4):
+            assert not detector.observe(i * 0.1)
+        assert detector.observe(0.5)
+
+    def test_max_duration_cap(self):
+        detector = RateDropDetector(max_duration=10.0, warmup=100)
+        detector.observe(0.0)
+        assert detector.observe(11.0)
+
+    def test_time_travel_rejected(self):
+        detector = RateDropDetector()
+        detector.observe(5.0)
+        with pytest.raises(ValueError):
+            detector.observe(4.0)
+
+    def test_reset(self):
+        detector = RateDropDetector(window=10.0, warmup=2)
+        for i in range(10):
+            detector.observe(i * 0.1)
+        detector.reset()
+        assert not detector.observe(100.0)
+
+    def test_interchangeable_with_extractor(self):
+        mac = "aa:bb:cc:dd:ee:01"
+        extractor = FingerprintExtractor(
+            mac, detector=RateDropDetector(window=5.0, drop_fraction=0.3, warmup=3)
+        )
+        from repro.packets import decode
+
+        frames = [
+            builder.dhcp_discover_frame(mac, 1),
+            builder.arp_probe_frame(mac, "192.168.1.5"),
+            builder.arp_announce_frame(mac, "192.168.1.5"),
+            builder.ssdp_msearch_frame(mac, "192.168.1.5"),
+        ]
+        for i, frame in enumerate(frames):
+            assert not extractor.add(i * 0.2, decode(frame))
+        # Rate collapse: the next packet, a minute later, ends the phase.
+        assert extractor.add(60.0, decode(frames[0]))
+        assert extractor.packet_count == len(frames)
+
+    def test_same_fingerprint_as_idle_gap_on_real_profiles(self, rng):
+        """Both detectors agree on bursty setup captures with a quiet tail."""
+        for name in ("Aria", "HueBridge", "TP-LinkPlugHS110"):
+            mac, records = simulate_setup_capture(profile_by_name(name), np.random.default_rng(5))
+            # Append standby trickle far after the setup burst.
+            tail_time = records[-1].timestamp
+            records = records + [
+                CaptureRecord(tail_time + 120.0, builder.arp_announce_frame(mac, "192.168.1.20")),
+                CaptureRecord(tail_time + 240.0, builder.arp_announce_frame(mac, "192.168.1.20")),
+            ]
+            idle = fingerprint_from_records(records, mac)
+            rate = fingerprint_from_records(
+                records, mac, detector=RateDropDetector(window=10.0, drop_fraction=0.25, warmup=4)
+            )
+            assert rate.packets == idle.packets, name

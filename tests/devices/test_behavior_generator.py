@@ -1,0 +1,131 @@
+"""Setup-dialogue language and traffic generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    NetworkEnvironment,
+    SetupDialogue,
+    TrafficGenerator,
+    profile_by_name,
+    step,
+)
+from repro.packets import decode
+
+
+class TestStepValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown step kind"):
+            step("teleport")
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            step("dhcp", probability=1.5)
+
+    def test_bad_repeat(self):
+        with pytest.raises(ValueError):
+            step("dhcp", repeat=(0, 2))
+        with pytest.raises(ValueError):
+            step("dhcp", repeat=(3, 2))
+
+    def test_empty_dialogue_rejected(self):
+        with pytest.raises(ValueError):
+            SetupDialogue(steps=())
+
+
+class TestNetworkEnvironment:
+    def test_device_ips_distinct(self):
+        env = NetworkEnvironment()
+        assert env.allocate_device_ip() != env.allocate_device_ip()
+
+    def test_public_ips_distinct(self):
+        env = NetworkEnvironment()
+        ips = {env.allocate_public_ip() for _ in range(50)}
+        assert len(ips) == 50
+
+    def test_public_ips_not_local(self):
+        env = NetworkEnvironment()
+        assert not env.allocate_public_ip().startswith("192.168.")
+
+
+class TestTrafficGenerator:
+    def _run(self, name, seed=5):
+        profile = profile_by_name(name)
+        gen = TrafficGenerator(
+            "aa:bb:cc:00:00:01",
+            profile.dialogue,
+            env=NetworkEnvironment(),
+            port_base=profile.port_base,
+            rng=np.random.default_rng(seed),
+        )
+        return gen, gen.run()
+
+    def test_all_frames_decode(self):
+        for name in ("Aria", "HueBridge", "TP-LinkPlugHS110", "HomeMaticPlug", "WeMoLink"):
+            _, records = self._run(name)
+            assert records
+            for record in records:
+                packet = decode(record.data)
+                assert packet.size == len(record.data)
+
+    def test_frames_originate_from_device(self):
+        _, records = self._run("Withings")
+        for record in records:
+            assert decode(record.data).src_mac == "aa:bb:cc:00:00:01"
+
+    def test_timestamps_increase(self):
+        _, records = self._run("EdimaxCam")
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_endpoint_resolution_stable_within_run(self):
+        gen, _ = self._run("Aria")
+        ip1 = gen.resolve("www.fitbit.com")
+        ip2 = gen.resolve("www.fitbit.com")
+        assert ip1 == ip2
+
+    def test_different_hosts_different_ips(self):
+        gen, _ = self._run("Withings")
+        assert gen.resolve("a.example") != gen.resolve("b.example")
+
+    def test_runs_vary_stochastically(self):
+        profile = profile_by_name("D-LinkSwitch")
+        lengths = set()
+        for seed in range(8):
+            gen = TrafficGenerator(
+                "aa:bb:cc:00:00:02", profile.dialogue, rng=np.random.default_rng(seed)
+            )
+            lengths.add(len(gen.run()))
+        assert len(lengths) > 1
+
+    def test_deterministic_given_seed(self):
+        profile = profile_by_name("Lightify")
+        runs = []
+        for _ in range(2):
+            gen = TrafficGenerator(
+                "aa:bb:cc:00:00:03",
+                profile.dialogue,
+                env=NetworkEnvironment(),
+                rng=np.random.default_rng(42),
+            )
+            runs.append([r.data for r in gen.run()])
+        assert runs[0] == runs[1]
+
+    def test_registered_port_base_respected(self):
+        # EdimaxCam uses a registered-range port base (RTOS stack).
+        _, records = self._run("EdimaxCam")
+        ports = [
+            decode(r.data).src_port
+            for r in records
+            if decode(r.data).src_port is not None and decode(r.data).is_tcp
+        ]
+        assert ports and all(1024 <= p <= 49151 for p in ports)
+
+    def test_start_time_offset(self):
+        profile = profile_by_name("Aria")
+        gen = TrafficGenerator(
+            "aa:bb:cc:00:00:04", profile.dialogue, rng=np.random.default_rng(1)
+        )
+        records = gen.run(start_time=1000.0)
+        assert all(r.timestamp > 1000.0 for r in records)

@@ -1,0 +1,86 @@
+"""Dataset construction tests (the 540-fingerprint corpus machinery)."""
+
+import numpy as np
+
+from repro.core import DEFAULT_FP_PACKETS, NUM_FEATURES
+from repro.devices import (
+    DEVICE_PROFILES,
+    collect_dataset,
+    collect_fingerprints,
+    instance_mac,
+    profile_by_name,
+    simulate_setup_capture,
+)
+
+
+class TestInstanceMac:
+    def test_starts_with_vendor_oui(self, rng):
+        profile = profile_by_name("HueBridge")
+        mac = instance_mac(profile, rng)
+        assert mac.startswith(profile.oui + ":")
+        assert len(mac.split(":")) == 6
+
+    def test_instances_differ(self, rng):
+        profile = profile_by_name("Aria")
+        macs = {instance_mac(profile, rng) for _ in range(20)}
+        assert len(macs) > 15
+
+
+class TestSimulateSetupCapture:
+    def test_returns_mac_and_records(self, rng):
+        mac, records = simulate_setup_capture(profile_by_name("WeMoSwitch"), rng)
+        assert records
+        from repro.packets import decode
+
+        assert all(decode(r.data).src_mac == mac for r in records)
+
+
+class TestCollect:
+    def test_fingerprint_count(self, rng):
+        fps = collect_fingerprints(profile_by_name("Aria"), runs=5, rng=rng)
+        assert len(fps) == 5
+        assert all(fp.label == "Aria" for fp in fps)
+
+    def test_fingerprints_nonempty_and_sized(self, rng):
+        for fp in collect_fingerprints(profile_by_name("HueBridge"), runs=3, rng=rng):
+            assert len(fp) >= 4
+            assert fp.fixed().shape == (DEFAULT_FP_PACKETS * NUM_FEATURES,)
+
+    def test_full_dataset_shape(self):
+        registry = collect_dataset(DEVICE_PROFILES[:3], runs_per_device=4, seed=9)
+        assert len(registry) == 3
+        assert all(registry.count(label) == 4 for label in registry.labels)
+
+    def test_seed_reproducibility(self):
+        r1 = collect_dataset(DEVICE_PROFILES[:2], runs_per_device=3, seed=77)
+        r2 = collect_dataset(DEVICE_PROFILES[:2], runs_per_device=3, seed=77)
+        for label in r1.labels:
+            a = [fp.packets for fp in r1.fingerprints(label)]
+            b = [fp.packets for fp in r2.fingerprints(label)]
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        r1 = collect_dataset(DEVICE_PROFILES[:1], runs_per_device=3, seed=1)
+        r2 = collect_dataset(DEVICE_PROFILES[:1], runs_per_device=3, seed=2)
+        label = r1.labels[0]
+        a = [fp.packets for fp in r1.fingerprints(label)]
+        b = [fp.packets for fp in r2.fingerprints(label)]
+        assert a != b
+
+    def test_sibling_fingerprints_heavily_overlap_in_fixed_space(self):
+        """The confusion groups' F' distributions must overlap (Table III)."""
+        registry = collect_dataset(
+            [profile_by_name("TP-LinkPlugHS110"), profile_by_name("TP-LinkPlugHS100"),
+             profile_by_name("Aria")],
+            runs_per_device=8,
+            seed=3,
+        )
+        a = registry.positives_matrix("TP-LinkPlugHS110")
+        b = registry.positives_matrix("TP-LinkPlugHS100")
+        c = registry.positives_matrix("Aria")
+        # Binary feature columns agree almost everywhere between siblings...
+        binary_cols = [i for i in range(a.shape[1]) if i % 23 < 18 or i % 23 == 19]
+        sibling_gap = np.abs(a[:, binary_cols].mean(0) - b[:, binary_cols].mean(0)).mean()
+        distinct_gap = np.abs(a[:, binary_cols].mean(0) - c[:, binary_cols].mean(0)).mean()
+        # ...but differ a lot against an unrelated device type.
+        assert sibling_gap < distinct_gap / 2

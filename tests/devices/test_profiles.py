@@ -1,0 +1,116 @@
+"""The Table II device catalogue: inventory, connectivity, groups."""
+
+import pytest
+
+from repro.devices import CONFUSION_GROUPS, DEVICE_PROFILES, profile_by_name
+from repro.devices.behavior import STEP_KINDS
+
+
+class TestTableII:
+    def test_27_device_types(self):
+        assert len(DEVICE_PROFILES) == 27
+
+    def test_identifiers_unique(self):
+        identifiers = [p.identifier for p in DEVICE_PROFILES]
+        assert len(set(identifiers)) == 27
+
+    def test_paper_identifiers_present(self):
+        expected = {
+            "Aria", "HomeMaticPlug", "Withings", "MAXGateway", "HueBridge",
+            "HueSwitch", "EdnetGateway", "EdnetCam", "EdimaxCam", "Lightify",
+            "WeMoInsightSwitch", "WeMoLink", "WeMoSwitch", "D-LinkHomeHub",
+            "D-LinkDoorSensor", "D-LinkDayCam", "D-LinkCam", "D-LinkSwitch",
+            "D-LinkWaterSensor", "D-LinkSiren", "D-LinkSensor",
+            "TP-LinkPlugHS110", "TP-LinkPlugHS100", "EdimaxPlug1101W",
+            "EdimaxPlug2101W", "SmarterCoffee", "iKettle2",
+        }
+        assert {p.identifier for p in DEVICE_PROFILES} == expected
+
+    @pytest.mark.parametrize(
+        "name,wifi,zigbee,ethernet,zwave,other",
+        [
+            ("Aria", True, False, False, False, False),
+            ("HomeMaticPlug", False, False, False, False, True),
+            ("MAXGateway", False, False, True, False, True),
+            ("HueBridge", False, True, True, False, False),
+            ("HueSwitch", False, True, False, False, False),
+            ("Lightify", True, True, False, False, False),
+            ("D-LinkHomeHub", True, False, True, True, False),
+            ("D-LinkDoorSensor", False, False, False, True, False),
+            ("WeMoLink", True, True, False, False, False),
+            ("iKettle2", True, False, False, False, False),
+        ],
+    )
+    def test_connectivity_matches_paper(self, name, wifi, zigbee, ethernet, zwave, other):
+        connectivity = profile_by_name(name).connectivity
+        assert connectivity.wifi == wifi
+        assert connectivity.zigbee == zigbee
+        assert connectivity.ethernet == ethernet
+        assert connectivity.zwave == zwave
+        assert connectivity.other == other
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("Nonexistent")
+
+
+class TestConfusionGroups:
+    def test_four_groups(self):
+        assert set(CONFUSION_GROUPS) == {"dlink-home", "tplink-plug", "edimax-plug", "smarter"}
+
+    def test_ten_confusable_devices(self):
+        members = [m for group in CONFUSION_GROUPS.values() for m in group]
+        assert len(members) == 10
+
+    def test_group_field_consistent(self):
+        for group, members in CONFUSION_GROUPS.items():
+            for member in members:
+                assert profile_by_name(member).confusion_group == group
+
+    def test_non_members_have_no_group(self):
+        members = {m for group in CONFUSION_GROUPS.values() for m in group}
+        for profile in DEVICE_PROFILES:
+            if profile.identifier not in members:
+                assert profile.confusion_group is None
+
+    def test_groups_share_vendor(self):
+        for members in CONFUSION_GROUPS.values():
+            vendors = {profile_by_name(m).vendor for m in members}
+            assert len(vendors) == 1
+
+
+class TestDialogues:
+    def test_all_step_kinds_valid(self):
+        for profile in DEVICE_PROFILES:
+            for s in profile.dialogue.steps:
+                assert s.kind in STEP_KINDS
+
+    def test_wifi_only_devices_do_eapol(self):
+        # Devices that also have an Ethernet port (cameras, hubs) may have
+        # been set up over the wire, so only WiFi-only devices must show
+        # the WPA2 handshake in their dialogue.
+        for profile in DEVICE_PROFILES:
+            kinds = [s.kind for s in profile.dialogue.steps]
+            if profile.connectivity.wifi and not profile.connectivity.ethernet:
+                assert "eapol_handshake" in kinds, profile.identifier
+
+    def test_non_wifi_devices_skip_eapol(self):
+        for profile in DEVICE_PROFILES:
+            kinds = [s.kind for s in profile.dialogue.steps]
+            if not profile.connectivity.wifi:
+                assert "eapol_handshake" not in kinds, profile.identifier
+
+    def test_ouis_look_like_mac_prefixes(self):
+        for profile in DEVICE_PROFILES:
+            parts = profile.oui.split(":")
+            assert len(parts) == 3
+            assert all(len(p) == 2 and int(p, 16) >= 0 for p in parts)
+
+    def test_same_vendor_same_oui(self):
+        by_vendor = {}
+        for profile in DEVICE_PROFILES:
+            by_vendor.setdefault(profile.vendor, set()).add(profile.oui)
+        assert all(len(ouis) == 1 for ouis in by_vendor.values())
+
+    def test_some_profiles_have_standby_dialogue(self):
+        assert any(profile.standby is not None for profile in DEVICE_PROFILES)

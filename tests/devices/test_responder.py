@@ -1,0 +1,129 @@
+"""Environment responder and bidirectional-capture robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import fingerprint_from_records
+from repro.devices import (
+    EnvironmentResponder,
+    NetworkEnvironment,
+    bidirectional_capture,
+    profile_by_name,
+    simulate_setup_capture,
+)
+from repro.packets import builder, decode
+
+MAC = "aa:bb:cc:dd:ee:01"
+GW_MAC = "02:00:00:00:00:01"
+IP = "192.168.1.50"
+
+
+class TestResponder:
+    def setup_method(self):
+        self.responder = EnvironmentResponder(NetworkEnvironment())
+
+    def test_dhcp_discover_gets_offer(self):
+        responses = self.responder.respond(builder.dhcp_discover_frame(MAC, 42, "dev"))
+        assert len(responses) == 1
+        offer = decode(responses[0])
+        assert offer.is_dhcp
+        assert offer.src_mac == GW_MAC
+        assert offer.dst_mac == MAC
+
+    def test_dhcp_request_gets_ack_with_requested_ip(self):
+        responses = self.responder.respond(
+            builder.dhcp_request_frame(MAC, 43, "192.168.1.77", "192.168.1.1")
+        )
+        assert len(responses) == 1
+        from repro.packets.dhcp import DHCPACK, DHCPMessage
+
+        ack = decode(responses[0]).layer(DHCPMessage)
+        assert ack.message_type == DHCPACK
+        assert ack.yiaddr == "192.168.1.77"
+
+    def test_arp_request_for_gateway_answered(self):
+        responses = self.responder.respond(
+            builder.arp_request_frame(MAC, IP, "192.168.1.1")
+        )
+        assert len(responses) == 1
+        reply = decode(responses[0])
+        assert reply.is_arp
+        from repro.packets.arp import ARPPacket
+
+        arp = reply.layer(ARPPacket)
+        assert arp.sender_ip == "192.168.1.1"
+        assert not arp.is_request
+
+    def test_gratuitous_arp_not_answered(self):
+        assert self.responder.respond(builder.arp_announce_frame(MAC, IP)) == []
+
+    def test_arp_probe_for_other_host_not_answered(self):
+        assert self.responder.respond(builder.arp_probe_frame(MAC, "192.168.1.50")) == []
+
+    def test_dns_query_answered(self):
+        frame = builder.dns_query_frame(
+            MAC, GW_MAC, IP, "192.168.1.1", "api.vendor.example", src_port=50123, txid=77
+        )
+        responses = self.responder.respond(frame)
+        assert len(responses) == 1
+        from repro.packets.dns import DNSMessage
+
+        answer = decode(responses[0]).layer(DNSMessage)
+        assert answer.is_response and answer.txid == 77
+        assert answer.answers[0].name == "api.vendor.example"
+
+    def test_mdns_not_answered_by_resolver(self):
+        frame = builder.mdns_query_frame(MAC, IP, "_hue._tcp.local")
+        assert self.responder.respond(frame) == []
+
+    def test_ntp_answered_by_server(self):
+        frame = builder.ntp_request_frame(MAC, GW_MAC, IP, "52.1.2.3", src_port=49877)
+        responses = self.responder.respond(frame)
+        assert len(responses) == 1
+        reply = decode(responses[0])
+        assert reply.is_ntp
+        assert reply.dst_port == 49877
+
+    def test_tcp_syn_gets_synack(self):
+        frame = builder.tcp_syn_frame(MAC, GW_MAC, IP, "52.1.2.3", 49881, 443)
+        responses = self.responder.respond(frame)
+        assert len(responses) == 1
+        from repro.packets.tcp import FLAG_ACK, FLAG_SYN, TCPSegment
+
+        synack = decode(responses[0]).layer(TCPSegment)
+        assert synack.flags & FLAG_SYN and synack.flags & FLAG_ACK
+        assert synack.dst_port == 49881
+
+    def test_plain_data_not_answered(self):
+        frame = builder.udp_raw_frame(MAC, GW_MAC, IP, "52.1.2.3", 50000, 9999, b"x")
+        assert self.responder.respond(frame) == []
+
+    def test_counter(self):
+        self.responder.respond(builder.dhcp_discover_frame(MAC, 1))
+        self.responder.respond(builder.tcp_syn_frame(MAC, GW_MAC, IP, "52.1.2.3", 1025, 80))
+        assert self.responder.responses_generated == 2
+
+
+class TestBidirectionalCapture:
+    def test_fingerprint_unchanged_by_responses(self, rng):
+        """The core robustness property: responses never leak into F."""
+        for name in ("Aria", "HueBridge", "TP-LinkPlugHS110", "MAXGateway"):
+            profile = profile_by_name(name)
+            mac, records = simulate_setup_capture(profile, np.random.default_rng(3))
+            unidirectional = fingerprint_from_records(records, mac)
+            merged = bidirectional_capture(records)
+            bidirectional = fingerprint_from_records(merged, mac)
+            assert bidirectional.packets == unidirectional.packets, name
+
+    def test_capture_actually_contains_responses(self, rng):
+        mac, records = simulate_setup_capture(profile_by_name("Withings"), rng)
+        merged = bidirectional_capture(records)
+        assert len(merged) > len(records)
+        foreign = [r for r in merged if decode(r.data).src_mac != mac]
+        assert foreign
+
+    def test_timestamps_remain_sorted(self, rng):
+        mac, records = simulate_setup_capture(profile_by_name("EdimaxCam"), rng)
+        merged = bidirectional_capture(records)
+        times = [r.timestamp for r in merged]
+        assert times == sorted(times)

@@ -1,0 +1,87 @@
+"""Standby-dialogue derivation and firmware-update drift units."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    DEVICE_PROFILES,
+    apply_firmware_update,
+    collect_standby_fingerprints,
+    derive_standby_dialogue,
+    profile_by_name,
+)
+
+
+class TestStandbyDerivation:
+    def test_explicit_standby_preferred_when_substantial(self):
+        profile = profile_by_name("Aria")
+        # Aria's declared standby is a single heartbeat — too sparse, so
+        # the derivation falls back to the periodic setup subset.
+        dialogue = derive_standby_dialogue(profile)
+        assert len(dialogue) >= 2
+
+    def test_join_steps_removed(self):
+        profile = profile_by_name("TP-LinkPlugHS110")
+        dialogue = derive_standby_dialogue(profile)
+        kinds = {s.kind for s in dialogue.steps}
+        assert "eapol_handshake" not in kinds
+        assert "dhcp" not in kinds
+        assert kinds & {"tcp_raw", "udp_raw", "dns", "ntp"}
+
+    def test_heartbeat_cadence_slower(self):
+        profile = profile_by_name("TP-LinkPlugHS110")
+        standby = derive_standby_dialogue(profile)
+        setup_gaps = {
+            (s.kind, tuple(sorted(s.params.items())[:1])): s.gap
+            for s in profile.dialogue.steps
+        }
+        for s in standby.steps:
+            key = (s.kind, tuple(sorted(s.params.items())[:1]))
+            if key in setup_gaps:
+                assert s.gap > setup_gaps[key]
+
+    def test_every_profile_derivable(self):
+        for profile in DEVICE_PROFILES:
+            dialogue = derive_standby_dialogue(profile)
+            assert len(dialogue) >= 1
+
+    def test_standby_fingerprints_nonempty(self, rng):
+        fps = collect_standby_fingerprints(profile_by_name("HueBridge"), runs=3, rng=rng)
+        assert len(fps) == 3
+        assert all(len(fp) >= 2 for fp in fps)
+        assert all(fp.label == "HueBridge" for fp in fps)
+
+
+class TestFirmwareUpdate:
+    def test_identifier_gets_version_suffix(self):
+        v2 = apply_firmware_update(profile_by_name("iKettle2"))
+        assert v2.identifier == "iKettle2+v2"
+        assert v2.vendor == "Smarter"  # metadata preserved
+
+    def test_payload_sizes_shift(self):
+        v1 = profile_by_name("SmarterCoffee")
+        v2 = apply_firmware_update(v1, size_delta=24)
+        v1_sizes = [s.params.get("size") for s in v1.dialogue.steps if "size" in s.params]
+        v2_sizes = [s.params.get("size") for s in v2.dialogue.steps if "size" in s.params]
+        for (lo1, hi1), (lo2, hi2) in zip(v1_sizes, v2_sizes):
+            assert lo2 == lo1 + 24 and hi2 == hi1 + 24
+
+    def test_telemetry_steps_appended(self):
+        v2 = apply_firmware_update(profile_by_name("D-LinkCam"), version="v9")
+        hosts = [s.params.get("host") for s in v2.dialogue.steps if "host" in s.params]
+        assert "fw-v9.telemetry.example" in hosts
+        assert len(v2.dialogue) == len(profile_by_name("D-LinkCam").dialogue) + 2
+
+    def test_no_telemetry_option(self):
+        v1 = profile_by_name("D-LinkCam")
+        v2 = apply_firmware_update(v1, add_telemetry=False)
+        assert len(v2.dialogue) == len(v1.dialogue)
+
+    def test_fingerprints_differ_between_versions(self, rng):
+        from repro.devices import collect_fingerprints
+
+        v1 = profile_by_name("D-LinkCam")
+        v2 = apply_firmware_update(v1)
+        fp1 = collect_fingerprints(v1, runs=1, rng=np.random.default_rng(1))[0]
+        fp2 = collect_fingerprints(v2, runs=1, rng=np.random.default_rng(1))[0]
+        assert len(fp2) > len(fp1)  # extra telemetry exchange visible

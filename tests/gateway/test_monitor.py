@@ -1,0 +1,109 @@
+"""Device monitor: new-MAC detection and profiling lifecycle."""
+
+import pytest
+
+from repro.core import SetupPhaseDetector
+from repro.gateway import DeviceMonitor
+from repro.packets import builder, decode
+
+MAC = "aa:bb:cc:dd:ee:01"
+OTHER = "aa:bb:cc:dd:ee:02"
+GW = "02:00:00:00:00:01"
+IP = "192.168.1.50"
+
+
+def packets(mac=MAC):
+    return [
+        decode(builder.dhcp_discover_frame(mac, 1, "dev")),
+        decode(builder.arp_probe_frame(mac, IP)),
+        decode(builder.dns_query_frame(mac, GW, IP, "192.168.1.1", "a.example")),
+        decode(builder.ntp_request_frame(mac, GW, IP, "17.1.1.1")),
+        decode(builder.https_client_hello_frame(mac, GW, IP, "52.1.1.1", "a.example")),
+    ]
+
+
+def fast_detector():
+    return SetupPhaseDetector(idle_gap=2.0, min_packets=3)
+
+
+class TestMonitor:
+    def test_new_mac_opens_session(self):
+        monitor = DeviceMonitor()
+        monitor.observe(0.0, packets()[0])
+        assert monitor.is_profiling(MAC)
+
+    def test_completion_after_idle_gap(self):
+        monitor = DeviceMonitor(detector_factory=fast_detector)
+        t = 0.0
+        for packet in packets():
+            assert monitor.observe(t, packet) is None
+            t += 0.3
+        event = monitor.observe(t + 50.0, packets()[0])
+        assert event is not None
+        assert event.device_mac == MAC
+        assert event.mode == "setup"
+        assert event.packet_count > 0
+        assert monitor.is_profiled(MAC)
+
+    def test_profiled_devices_not_reprofiled(self):
+        monitor = DeviceMonitor(detector_factory=fast_detector)
+        t = 0.0
+        for packet in packets():
+            monitor.observe(t, packet)
+            t += 0.3
+        monitor.observe(t + 50.0, packets()[0])
+        assert monitor.observe(t + 51.0, packets()[1]) is None
+        assert not monitor.is_profiling(MAC)
+
+    def test_interleaved_devices_tracked_separately(self):
+        monitor = DeviceMonitor(detector_factory=fast_detector)
+        t = 0.0
+        for own, other in zip(packets(MAC), packets(OTHER)):
+            monitor.observe(t, own)
+            monitor.observe(t + 0.05, other)
+            t += 0.3
+        assert set(monitor.profiling) == {MAC, OTHER}
+
+    def test_ignored_macs_skipped(self):
+        monitor = DeviceMonitor(ignore_macs={GW})
+        gw_packet = decode(builder.arp_announce_frame(GW, "192.168.1.1"))
+        assert monitor.observe(0.0, gw_packet) is None
+        assert not monitor.is_profiling(GW)
+
+    def test_flush_forces_completion(self):
+        monitor = DeviceMonitor()
+        monitor.observe(0.0, packets()[0])
+        event = monitor.flush(MAC)
+        assert event is not None and event.device_mac == MAC
+        assert monitor.is_profiled(MAC)
+
+    def test_flush_unknown_mac(self):
+        assert DeviceMonitor().flush("00:00:00:00:00:00") is None
+
+    def test_forget_resets_state(self):
+        monitor = DeviceMonitor()
+        monitor.observe(0.0, packets()[0])
+        monitor.flush(MAC)
+        monitor.forget(MAC)
+        assert not monitor.is_profiled(MAC)
+        monitor.observe(1.0, packets()[1])
+        assert monitor.is_profiling(MAC)
+
+    def test_mark_profiled_skips_capture(self):
+        monitor = DeviceMonitor()
+        monitor.mark_profiled(MAC)
+        assert monitor.is_profiled(MAC)
+        assert monitor.observe(0.0, packets()[0]) is None
+
+    def test_standby_profiling_mode(self):
+        monitor = DeviceMonitor(detector_factory=fast_detector)
+        monitor.mark_profiled(MAC)
+        monitor.start_standby_profiling(MAC)
+        assert monitor.is_profiling(MAC)
+        t = 0.0
+        for packet in packets():
+            monitor.observe(t, packet)
+            t += 0.3
+        event = monitor.observe(t + 50.0, packets()[0])
+        assert event is not None
+        assert event.mode == "standby"

@@ -1,0 +1,97 @@
+"""WPS credential provisioning and legacy-network migration."""
+
+import pytest
+
+from repro.gateway import LegacyMigration, WPSRegistrar
+
+MAC_A = "aa:00:00:00:00:01"
+MAC_B = "aa:00:00:00:00:02"
+
+
+class TestWPSRegistrar:
+    def test_device_specific_psks(self):
+        registrar = WPSRegistrar()
+        a = registrar.provision(MAC_A)
+        b = registrar.provision(MAC_B)
+        assert a.psk != b.psk  # one compromised PSK exposes one device only
+
+    def test_authenticate(self):
+        registrar = WPSRegistrar()
+        credential = registrar.provision(MAC_A)
+        assert registrar.authenticate(MAC_A, credential.psk)
+        assert not registrar.authenticate(MAC_A, "wrong")
+        assert not registrar.authenticate(MAC_B, credential.psk)
+
+    def test_rekey_rotates_and_changes_overlay(self):
+        registrar = WPSRegistrar()
+        old = registrar.provision(MAC_A, "untrusted")
+        new = registrar.rekey(MAC_A, "trusted")
+        assert new.psk != old.psk
+        assert new.overlay == "trusted"
+        assert new.generation == old.generation + 1
+        assert not registrar.authenticate(MAC_A, old.psk)  # old PSK dead
+
+    def test_rekey_unknown_device(self):
+        with pytest.raises(KeyError):
+            WPSRegistrar().rekey(MAC_A, "trusted")
+
+    def test_revoke(self):
+        registrar = WPSRegistrar()
+        credential = registrar.provision(MAC_A)
+        registrar.revoke(MAC_A)
+        assert not registrar.authenticate(MAC_A, credential.psk)
+        with pytest.raises(KeyError):
+            registrar.revoke(MAC_A)
+
+    def test_invalid_overlay(self):
+        with pytest.raises(ValueError):
+            WPSRegistrar().provision(MAC_A, "purgatory")
+
+    def test_deterministic_derivation(self):
+        a = WPSRegistrar(seed="s").provision(MAC_A)
+        b = WPSRegistrar(seed="s").provision(MAC_A)
+        assert a.psk == b.psk
+        assert WPSRegistrar(seed="other").provision(MAC_A).psk != a.psk
+
+
+class TestLegacyMigration:
+    """The Sect. VIII-A legacy-installation support flow."""
+
+    def _migration(self):
+        return LegacyMigration(WPSRegistrar())
+
+    def test_clean_rekeying_device_moves_to_trusted(self):
+        migration = self._migration()
+        migration.enroll_legacy(MAC_A)
+        assert migration.migrate(MAC_A, clean=True, supports_rekeying=True) == "trusted"
+        assert migration.registrar.credential_of(MAC_A).overlay == "trusted"
+
+    def test_vulnerable_device_stays_untrusted(self):
+        migration = self._migration()
+        migration.enroll_legacy(MAC_A)
+        assert migration.migrate(MAC_A, clean=False, supports_rekeying=True) == "untrusted"
+
+    def test_clean_non_rekeying_device_stays_while_psk_lives(self):
+        migration = self._migration()
+        migration.enroll_legacy(MAC_A)
+        assert migration.migrate(MAC_A, clean=True, supports_rekeying=False) == "untrusted"
+        assert MAC_A in migration.legacy_members  # still on the shared PSK
+
+    def test_clean_non_rekeying_device_disconnected_after_deprecation(self):
+        migration = self._migration()
+        migration.enroll_legacy(MAC_A)
+        migration.legacy_psk_deprecated = True
+        assert migration.migrate(MAC_A, clean=True, supports_rekeying=False) == "disconnected"
+
+    def test_deprecate_reports_dropped_devices(self):
+        migration = self._migration()
+        migration.enroll_legacy(MAC_A)
+        migration.enroll_legacy(MAC_B)
+        migration.migrate(MAC_A, clean=True, supports_rekeying=True)
+        dropped = migration.deprecate_legacy_psk()
+        assert dropped == [MAC_B]
+        assert migration.legacy_members == []
+
+    def test_migrate_unknown_device(self):
+        with pytest.raises(KeyError):
+            self._migration().migrate(MAC_A, clean=True, supports_rekeying=True)

@@ -1,0 +1,174 @@
+"""End-to-end scenarios: the whole pipeline from setup traffic to enforcement.
+
+These tests exercise the adversary model of Sect. II: (a) exfiltration,
+(b) lateral movement from a compromised device, (c) remote attack paths —
+against a gateway whose state was produced by the *real* monitor →
+fingerprint → IoTSSP → enforcement chain, not by fixtures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    DEVICE_PROFILES,
+    NetworkEnvironment,
+    collect_dataset,
+    profile_by_name,
+    simulate_setup_capture,
+)
+from repro.gateway import SecurityGateway
+from repro.packets import builder
+from repro.sdn import IsolationLevel
+from repro.securityservice import DirectTransport, IoTSecurityService
+
+TRAIN_NAMES = (
+    "Aria", "HueBridge", "WeMoSwitch", "EdimaxCam",
+    "TP-LinkPlugHS110", "TP-LinkPlugHS100", "iKettle2", "D-LinkCam",
+)
+
+
+@pytest.fixture(scope="module")
+def trained_service():
+    profiles = [p for p in DEVICE_PROFILES if p.identifier in TRAIN_NAMES]
+    registry = collect_dataset(profiles, runs_per_device=12, seed=55)
+    service = IoTSecurityService(random_state=5)
+    service.train(registry)
+    for profile in profiles:
+        hosts = sorted(
+            {s.params["host"] for s in profile.dialogue.steps if "host" in s.params}
+        )
+        if hosts:
+            service.register_endpoints(profile.identifier, [f"52.30.0.{i + 1}" for i in range(len(hosts))])
+    return service
+
+
+def onboard(gateway, profile, seed):
+    """Run a device's full setup through the gateway; returns its MAC."""
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    rng = np.random.default_rng(seed)
+    mac, records = simulate_setup_capture(profile, rng, env=NetworkEnvironment())
+    gateway.attach_device(mac)
+    for record in records:
+        gateway.process_frame(mac, record.data, record.timestamp)
+    gateway.finish_profiling(mac)
+    return mac
+
+
+def alien_profile():
+    """A device type resembling nothing in the training corpus."""
+    from repro.devices import DeviceProfile, SetupDialogue, step
+    from repro.devices.profiles import Connectivity
+
+    return DeviceProfile(
+        identifier="FrobnicatorX",
+        vendor="Frobnicator",
+        model="Frobnicator X1 industrial sensor",
+        connectivity=Connectivity(ethernet=True),
+        oui="f0:0f:aa",
+        dialogue=SetupDialogue(
+            steps=(
+                step("llc_announce", repeat=(3, 5), size=(200, 220)),
+                step("bootp"),
+                step("igmp_join", group="239.1.2.3"),
+                step("mld_report", repeat=(2, 3)),
+                step("icmpv6_ns", repeat=(2, 3)),
+                step("icmp_echo", size=(400, 420), repeat=(3, 5)),
+            )
+        ),
+    )
+
+
+class TestOnboarding:
+    def test_clean_device_becomes_trusted(self, trained_service):
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        mac = onboard(gateway, "Aria", seed=1)
+        directive = gateway.directive_for(mac)
+        assert directive.device_type == "Aria"
+        assert directive.level is IsolationLevel.TRUSTED
+        assert gateway.overlays.overlay_of(mac) == "trusted"
+
+    def test_vulnerable_device_becomes_restricted(self, trained_service):
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        mac = onboard(gateway, "iKettle2", seed=2)
+        directive = gateway.directive_for(mac)
+        # The kettle is in the vulnerability DB; whichever Smarter sibling
+        # the classifier picks, the directive must be restrictive.
+        assert directive.level in (IsolationLevel.RESTRICTED, IsolationLevel.STRICT)
+        assert gateway.overlays.overlay_of(mac) == "untrusted"
+
+    def test_unknown_device_becomes_strict(self, trained_service):
+        notifications = []
+        gateway = SecurityGateway(
+            DirectTransport(trained_service), notify_user=notifications.append
+        )
+        mac = onboard(gateway, alien_profile(), seed=3)
+        directive = gateway.directive_for(mac)
+        assert directive.device_type == "unknown"
+        assert directive.level is IsolationLevel.STRICT
+        assert notifications and notifications[0].device_mac == mac
+
+
+class TestAdversaryModel:
+    """Sect. II attack goals, each blocked by the enforcement layer."""
+
+    def test_exfiltration_blocked(self, trained_service):
+        """(a) Compromised restricted device tries to ship data off-site."""
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        mac = onboard(gateway, "iKettle2", seed=4)
+        exfil = builder.https_client_hello_frame(
+            mac, gateway.gateway_mac, "192.168.1.20", "52.99.99.99", "attacker.example"
+        )
+        assert gateway.process_frame(mac, exfil, 500.0).dropped
+
+    def test_lateral_movement_blocked(self, trained_service):
+        """(b) Compromised untrusted device attacks a trusted device."""
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        kettle = onboard(gateway, "iKettle2", seed=5)
+        scale = onboard(gateway, "Aria", seed=6)
+        assert gateway.overlays.overlay_of(scale) == "trusted"
+        attack = builder.tcp_raw_frame(
+            kettle, scale, "192.168.1.20", "192.168.1.21", 50000, 22, b"\x00" * 64
+        )
+        assert gateway.process_frame(kettle, attack, 500.0).dropped
+
+    def test_remote_attack_path_blocked(self, trained_service):
+        """(c) NAT-hole-punched inbound connection to a strict device."""
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        mac = onboard(gateway, alien_profile(), seed=7)
+        assert gateway.isolation_level(mac) is IsolationLevel.STRICT
+        # The device tries to answer the remote attacker (reverse shell).
+        reply = builder.tcp_raw_frame(
+            mac, gateway.gateway_mac, "192.168.1.20", "52.88.88.88", 50000, 4444, b"shell"
+        )
+        assert gateway.process_frame(mac, reply, 500.0).dropped
+
+    def test_trusted_devices_unimpeded(self, trained_service):
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        scale = onboard(gateway, "Aria", seed=8)
+        upload = builder.https_client_hello_frame(
+            scale, gateway.gateway_mac, "192.168.1.20", "52.30.0.1", "www.fitbit.com"
+        )
+        assert not gateway.process_frame(scale, upload, 500.0).dropped
+
+
+class TestMultiDeviceNetwork:
+    def test_ten_devices_onboarded_concurrently(self, trained_service):
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        macs = []
+        for i, name in enumerate(
+            ("Aria", "HueBridge", "WeMoSwitch", "EdimaxCam", "D-LinkCam",
+             "TP-LinkPlugHS110", "TP-LinkPlugHS100", "iKettle2", "Aria", "WeMoSwitch")
+        ):
+            macs.append(onboard(gateway, name, seed=100 + i))
+        assert len(gateway.rule_cache) == 10
+        levels = {gateway.isolation_level(mac) for mac in macs}
+        assert IsolationLevel.TRUSTED in levels
+        assert (IsolationLevel.RESTRICTED in levels) or (IsolationLevel.STRICT in levels)
+
+    def test_detach_cleans_up(self, trained_service):
+        gateway = SecurityGateway(DirectTransport(trained_service))
+        mac = onboard(gateway, "Aria", seed=42)
+        gateway.detach_device(mac)
+        assert mac not in gateway.rule_cache
+        assert gateway.isolation_level(mac) is None

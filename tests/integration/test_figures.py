@@ -1,0 +1,57 @@
+"""ASCII plot rendering tests."""
+
+import pytest
+
+from repro.reporting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_shape(self):
+        out = ascii_plot({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=8)
+        lines = out.splitlines()
+        assert any("*" in line for line in lines)
+        assert any("+" + "-" * 20 in line for line in lines)
+        assert "  * s" in out
+
+    def test_rising_series_rises(self):
+        out = ascii_plot({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=8)
+        lines = [line for line in out.splitlines() if "|" in line]
+        first_row_with_marker = next(i for i, line in enumerate(lines) if "*" in line)
+        last_row_with_marker = max(i for i, line in enumerate(lines) if "*" in line)
+        # Higher y values render nearer the top (smaller row index).
+        assert first_row_with_marker < last_row_with_marker
+
+    def test_two_series_get_distinct_markers(self):
+        out = ascii_plot(
+            {"a": [(0, 1.0), (1, 1.0)], "b": [(0, 5.0), (1, 5.0)]}, width=10, height=6
+        )
+        assert "*" in out and "o" in out
+        assert "  * a" in out and "  o b" in out
+
+    def test_overlap_marker(self):
+        out = ascii_plot(
+            {"a": [(0, 1.0)], "b": [(0, 1.0)]}, width=10, height=6
+        )
+        assert "&" in out
+
+    def test_axis_bounds(self):
+        out = ascii_plot({"s": [(0, 40.0), (10, 45.0)]}, y_min=0.0, y_max=100.0)
+        assert "100" in out
+        assert "0" in out
+
+    def test_flat_series_handled(self):
+        out = ascii_plot({"s": [(0, 5.0), (10, 5.0)]})
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": []})
+
+    def test_labels_present(self):
+        out = ascii_plot(
+            {"s": [(0, 1.0), (150, 2.0)]}, y_label="Latency (ms)", x_label="flows"
+        )
+        assert "Latency (ms)" in out
+        assert "(flows)" in out

@@ -1,0 +1,115 @@
+"""Incident crowdsourcing + directive refresh lifecycle (III-B / V).
+
+The full loop: a clean device is trusted; gateways around the world report
+incidents for its type; the IoTSSP cross-correlates them into a
+vulnerability record; the periodic directive refresh demotes the device to
+restricted and its previously-allowed flows die at the data plane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import DEVICE_PROFILES, collect_dataset, profile_by_name, simulate_setup_capture
+from repro.gateway import SecurityGateway
+from repro.packets import builder
+from repro.sdn import IsolationLevel
+from repro.securityservice import DirectTransport, IoTSecurityService
+from repro.securityservice.incidents import IncidentAggregator, IncidentReport
+from repro.securityservice.vulndb import VulnerabilityDatabase
+
+TRAIN = ("Aria", "HueBridge", "WeMoLink", "EdnetGateway")
+
+
+@pytest.fixture()
+def service():
+    profiles = [p for p in DEVICE_PROFILES if p.identifier in TRAIN]
+    registry = collect_dataset(profiles, runs_per_device=10, seed=66)
+    svc = IoTSecurityService(random_state=6)
+    svc.train(registry)
+    return svc
+
+
+class TestIncidentAggregator:
+    def test_threshold_confirms_cluster(self):
+        aggregator = IncidentAggregator(vulndb=VulnerabilityDatabase(), threshold=3)
+        report = IncidentReport("Aria", "malware-traffic")
+        assert aggregator.submit(report) is None
+        assert aggregator.submit(report) is None
+        record = aggregator.submit(report)
+        assert record is not None
+        assert record.device_type == "Aria"
+        assert "crowdsourced" in record.summary
+        assert aggregator.vulndb.is_vulnerable("Aria")
+
+    def test_confirmed_cluster_not_duplicated(self):
+        aggregator = IncidentAggregator(vulndb=VulnerabilityDatabase(), threshold=2)
+        report = IncidentReport("Aria", "scanning-behaviour")
+        aggregator.submit(report)
+        assert aggregator.submit(report) is not None
+        assert aggregator.submit(report) is None
+        assert len(aggregator.vulndb) == 1
+
+    def test_classes_counted_separately(self):
+        aggregator = IncidentAggregator(vulndb=VulnerabilityDatabase(), threshold=2)
+        aggregator.submit(IncidentReport("Aria", "malware-traffic"))
+        aggregator.submit(IncidentReport("Aria", "scanning-behaviour"))
+        assert len(aggregator.vulndb) == 0
+        assert aggregator.count("Aria", "malware-traffic") == 1
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentReport("Aria", "acts-suspicious")
+
+
+class TestDirectiveRefreshLifecycle:
+    def _onboard(self, gateway, name, seed):
+        mac, records = simulate_setup_capture(profile_by_name(name), np.random.default_rng(seed))
+        gateway.attach_device(mac)
+        for record in records:
+            gateway.process_frame(mac, record.data, record.timestamp)
+        gateway.finish_profiling(mac)
+        return mac
+
+    def test_demotion_after_crowd_reports(self, service):
+        gateway = SecurityGateway(DirectTransport(service))
+        mac = self._onboard(gateway, "Aria", seed=3)
+        assert gateway.isolation_level(mac) is IsolationLevel.TRUSTED
+
+        # Traffic to an arbitrary host flows while trusted.
+        anywhere = builder.https_client_hello_frame(
+            mac, gateway.gateway_mac, "192.168.1.20", "52.77.1.1", "x.example"
+        )
+        assert not gateway.process_frame(mac, anywhere, 100.0).dropped
+
+        # Other gateways report Aria-type devices exfiltrating.
+        for _ in range(3):
+            service.report_incident(IncidentReport("Aria", "data-exfiltration"))
+
+        # Before the TTL lapses nothing changes...
+        assert gateway.refresh_directives(now=200.0) == []
+        # ...but a forced (or TTL-expired) refresh demotes the device.
+        changed = gateway.refresh_directives(now=200.0, force=True)
+        assert changed == [mac]
+        assert gateway.isolation_level(mac) is IsolationLevel.RESTRICTED
+        assert gateway.process_frame(mac, anywhere, 201.0).dropped
+
+    def test_ttl_expiry_triggers_requery(self, service):
+        gateway = SecurityGateway(DirectTransport(service))
+        mac = self._onboard(gateway, "HueBridge", seed=4)
+        directive = gateway.directive_for(mac)
+        for _ in range(3):
+            service.report_incident(IncidentReport(directive.device_type, "malware-traffic"))
+        late = directive.ttl_seconds + 10.0
+        changed = gateway.refresh_directives(now=late)
+        assert changed == [mac]
+        assert gateway.isolation_level(mac) is IsolationLevel.RESTRICTED
+
+    def test_refresh_without_changes_is_quiet(self, service):
+        gateway = SecurityGateway(DirectTransport(service))
+        mac = self._onboard(gateway, "WeMoLink", seed=5)
+        assert gateway.refresh_directives(now=1e6, force=True) == []
+        assert gateway.isolation_level(mac) is IsolationLevel.TRUSTED
+
+    def test_no_filtering_gateway_refresh_noop(self):
+        gateway = SecurityGateway(filtering=False)
+        assert gateway.refresh_directives(now=0.0, force=True) == []

@@ -1,0 +1,119 @@
+"""Lab tooling: setup scripts, collection campaigns, manifests."""
+
+import numpy as np
+import pytest
+
+from repro.core import fingerprint_from_records
+from repro.devices import DEVICE_PROFILES, profile_by_name
+from repro.labtools import (
+    CollectionCampaign,
+    DatasetManifest,
+    RunRecord,
+    load_manifest,
+    setup_script,
+)
+from repro.packets import decode, read_capture
+
+
+class TestSetupScripts:
+    def test_every_profile_has_a_script(self):
+        for profile in DEVICE_PROFILES:
+            script = setup_script(profile)
+            assert len(script) >= 4
+            assert script[0].number == 1
+            assert "hard-reset" in script[-1].text.lower() or "hard-reset" in script[-1].text
+
+    def test_wifi_device_script_mentions_app_flow(self):
+        script = setup_script(profile_by_name("iKettle2"))
+        text = " ".join(s.text for s in script)
+        assert "vendor app" in text
+        assert "WPA2" in text
+
+    def test_ethernet_device_script_mentions_cable(self):
+        script = setup_script(profile_by_name("HueBridge"))
+        text = " ".join(s.text for s in script)
+        assert "Ethernet" in text
+
+    def test_proxied_device_script_mentions_bridge(self):
+        script = setup_script(profile_by_name("D-LinkDoorSensor"))
+        text = " ".join(s.text for s in script)
+        assert "bridge" in text or "gateway" in text
+
+    def test_traffic_expectations_marked(self):
+        script = setup_script(profile_by_name("Aria"))
+        assert any(s.expects_traffic for s in script)
+
+    def test_str_rendering(self):
+        step = setup_script(profile_by_name("Aria"))[0]
+        assert str(step).startswith("1. ")
+
+
+class TestCollectionCampaign:
+    def _campaign(self, tmp_path, **kwargs):
+        profiles = [profile_by_name("Aria"), profile_by_name("HueBridge")]
+        defaults = dict(profiles=profiles, runs_per_device=3, seed=11)
+        defaults.update(kwargs)
+        return CollectionCampaign(tmp_path / "dataset", **defaults)
+
+    def test_campaign_writes_captures_and_manifest(self, tmp_path):
+        manifest = self._campaign(tmp_path).run()
+        assert manifest.summary()["total_runs"] == 6
+        assert manifest.device_types == ["Aria", "HueBridge"]
+        for run in manifest.runs:
+            capture = read_capture(tmp_path / "dataset" / run.pcap_path)
+            assert len(capture) == run.packet_count
+
+    def test_manifest_validation_clean(self, tmp_path):
+        campaign = self._campaign(tmp_path)
+        manifest = campaign.run()
+        assert manifest.validate(tmp_path / "dataset") == []
+
+    def test_validation_detects_missing_file(self, tmp_path):
+        campaign = self._campaign(tmp_path)
+        manifest = campaign.run()
+        victim = tmp_path / "dataset" / manifest.runs[0].pcap_path
+        victim.unlink()
+        problems = manifest.validate(tmp_path / "dataset")
+        assert any("missing capture" in p for p in problems)
+
+    def test_resume_skips_existing_runs(self, tmp_path):
+        campaign = self._campaign(tmp_path)
+        first = campaign.run()
+        timestamps = {
+            run.pcap_path: (tmp_path / "dataset" / run.pcap_path).stat().st_mtime_ns
+            for run in first.runs
+        }
+        second = campaign.run()
+        assert len(second.runs) == len(first.runs)
+        for run in second.runs:
+            path = tmp_path / "dataset" / run.pcap_path
+            assert path.stat().st_mtime_ns == timestamps[run.pcap_path]
+
+    def test_bidirectional_captures_still_fingerprint(self, tmp_path):
+        manifest = self._campaign(tmp_path, bidirectional=True).run()
+        run = manifest.runs_for("Aria")[0]
+        capture = read_capture(tmp_path / "dataset" / run.pcap_path)
+        fingerprint = fingerprint_from_records(capture.records, run.mac)
+        assert len(fingerprint) >= 4
+
+    def test_unidirectional_mode(self, tmp_path):
+        manifest = self._campaign(tmp_path, bidirectional=False).run()
+        run = manifest.runs_for("Aria")[0]
+        capture = read_capture(tmp_path / "dataset" / run.pcap_path)
+        macs = {decode(r.data).src_mac for r in capture.records}
+        assert macs == {run.mac}
+
+    def test_manifest_roundtrip(self, tmp_path):
+        manifest = DatasetManifest(seed=3, runs_per_device=1)
+        manifest.add(
+            RunRecord(
+                device_type="Aria", run_index=0, mac="aa:bb:cc:00:00:01",
+                pcap_path="Aria/run_00.pcap", packet_count=10,
+                duration_seconds=2.5, bidirectional=False,
+            )
+        )
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        restored = load_manifest(path)
+        assert restored.runs == manifest.runs
+        assert restored.seed == 3

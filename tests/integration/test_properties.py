@@ -1,0 +1,160 @@
+"""Property-based tests over the whole stack (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DestinationCounter,
+    Fingerprint,
+    NUM_FEATURES,
+    normalized_distance,
+    packet_features,
+)
+from repro.devices import NetworkEnvironment, SetupDialogue, TrafficGenerator, step
+from repro.packets import builder, decode
+from repro.sdn import Action, FlowMatch, FlowRule, FlowTable
+
+MAC = "aa:bb:cc:dd:ee:01"
+GW = "02:00:00:00:00:01"
+IP = "192.168.1.50"
+
+ports = st.integers(min_value=1, max_value=65535)
+payloads = st.binary(min_size=0, max_size=300)
+hosts = st.from_regex(r"[a-z]{1,12}(\.[a-z]{1,10}){1,2}", fullmatch=True)
+
+
+class TestBuilderDecodeProperties:
+    @given(src=ports, dst=ports, payload=payloads)
+    def test_tcp_raw_roundtrip(self, src, dst, payload):
+        frame = builder.tcp_raw_frame(MAC, GW, IP, "52.1.1.1", src, dst, payload)
+        packet = decode(frame)
+        assert packet.is_tcp
+        assert packet.src_port == src and packet.dst_port == dst
+        assert packet.size == len(frame)
+        assert packet.src_mac == MAC
+
+    @given(src=ports, dst=ports, payload=payloads)
+    def test_udp_raw_roundtrip(self, src, dst, payload):
+        frame = builder.udp_raw_frame(MAC, GW, IP, "52.1.1.1", src, dst, payload)
+        packet = decode(frame)
+        assert packet.is_udp
+        assert packet.src_port == src and packet.dst_port == dst
+
+    @given(host=hosts)
+    def test_dns_query_roundtrip(self, host):
+        frame = builder.dns_query_frame(MAC, GW, IP, "192.168.1.1", host)
+        packet = decode(frame)
+        assert packet.is_dns
+        from repro.packets.dns import DNSMessage
+
+        message = packet.layer(DNSMessage)
+        assert message.questions[0].name == host
+
+    @given(host=hosts)
+    def test_https_hello_always_classified(self, host):
+        frame = builder.https_client_hello_frame(MAC, GW, IP, "52.1.1.1", host)
+        assert decode(frame).is_https
+
+    @given(payload=payloads)
+    def test_feature_vector_always_well_formed(self, payload):
+        frame = builder.udp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 9999, payload)
+        vector = packet_features(decode(frame), DestinationCounter())
+        assert vector.shape == (NUM_FEATURES,)
+        assert (vector >= 0).all()
+
+
+class TestFingerprintProperties:
+    vectors = st.lists(
+        st.integers(min_value=0, max_value=5).map(
+            lambda s: tuple(float(s == i) for i in range(NUM_FEATURES))
+        ),
+        max_size=40,
+    )
+
+    @given(vectors)
+    def test_dedup_idempotent(self, packet_tuples):
+        arrays = [np.asarray(p) for p in packet_tuples]
+        fp_once = Fingerprint.from_vectors(arrays)
+        fp_twice = Fingerprint.from_vectors([np.asarray(p) for p in fp_once.packets])
+        assert fp_once.packets == fp_twice.packets
+
+    @given(vectors)
+    def test_fixed_vector_shape(self, packet_tuples):
+        fp = Fingerprint.from_vectors([np.asarray(p) for p in packet_tuples])
+        assert fp.fixed().shape == (276,)
+
+    @given(vectors, vectors)
+    def test_distance_symmetric_on_fingerprints(self, a, b):
+        fa = Fingerprint.from_vectors([np.asarray(p) for p in a])
+        fb = Fingerprint.from_vectors([np.asarray(p) for p in b])
+        assert normalized_distance(fa.symbols(), fb.symbols()) == normalized_distance(
+            fb.symbols(), fa.symbols()
+        )
+
+
+class TestGeneratorProperties:
+    step_kinds = st.sampled_from(
+        ["arp_probe", "arp_announce", "dhcp", "bootp", "ssdp_msearch", "ntp", "mdns_query",
+         "icmpv6_rs", "mld_report", "igmp_join", "llc_announce"]
+    )
+
+    @given(kinds=st.lists(step_kinds, min_size=1, max_size=8), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_any_dialogue_generates_decodable_frames(self, kinds, seed):
+        dialogue = SetupDialogue(steps=tuple(step(kind) for kind in kinds))
+        generator = TrafficGenerator(
+            MAC, dialogue, env=NetworkEnvironment(), rng=np.random.default_rng(seed)
+        )
+        records = generator.run()
+        assert len(records) >= len(kinds)
+        for record in records:
+            packet = decode(record.data)
+            assert packet.src_mac == MAC
+
+
+class TestPersistenceProperties:
+    packet_vectors = st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, width=32),
+            min_size=NUM_FEATURES,
+            max_size=NUM_FEATURES,
+        ),
+        max_size=15,
+    )
+
+    @given(packet_vectors, st.text(max_size=20))
+    def test_fingerprint_json_roundtrip(self, vectors, label):
+        import json
+
+        from repro.core.persistence import fingerprint_from_dict, fingerprint_to_dict
+
+        fp = Fingerprint(
+            packets=tuple(tuple(float(x) for x in v) for v in vectors),
+            device_mac="aa:bb:cc:dd:ee:ff",
+            label=label or None,
+        )
+        restored = fingerprint_from_dict(json.loads(json.dumps(fingerprint_to_dict(fp))))
+        assert restored.packets == fp.packets
+        assert restored.label == fp.label
+
+
+class TestFlowTableProperties:
+    rules = st.lists(
+        st.tuples(st.integers(min_value=1, max_value=200), st.booleans()),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(rules)
+    def test_lookup_returns_highest_priority_match(self, specs):
+        table = FlowTable()
+        for priority, drops in specs:
+            action = Action.drop() if drops else Action.flood()
+            table.add(FlowRule(match=FlowMatch(), actions=(action,), priority=priority))
+        packet = decode(builder.arp_probe_frame(MAC, IP))
+        best = table.lookup(packet, 1)
+        assert best is not None
+        assert best.priority == max(priority for priority, _ in specs)

@@ -1,0 +1,126 @@
+"""Experiment harness tests: CV evaluation, timing, enforcement runners."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeviceIdentifier
+from repro.reporting import (
+    TABLE5_PAIRS,
+    crossvalidate_identification,
+    measure_identification_timing,
+    render_accuracy_bars,
+    render_confusion,
+    render_series,
+    render_table,
+    run_cpu_sweep,
+    run_latency_matrix,
+    run_memory_sweep,
+)
+
+
+class TestCrossValidation:
+    def test_small_cv_run(self, small_registry):
+        result = crossvalidate_identification(
+            small_registry, n_splits=4, repetitions=1, seed=3
+        )
+        total = sum(small_registry.count(label) for label in small_registry.labels)
+        assert len(result.y_true) == total
+        assert 0.5 < result.global_accuracy <= 1.0
+        per_class = result.per_class()
+        assert set(per_class) == set(small_registry.labels)
+
+    def test_confusion_matrix_row_sums(self, small_registry):
+        result = crossvalidate_identification(
+            small_registry, n_splits=4, repetitions=1, seed=3
+        )
+        labels = small_registry.labels
+        matrix = result.confusion(labels)
+        assert matrix.shape == (len(labels), len(labels) + 1)  # + "other"
+        for i, label in enumerate(labels):
+            assert matrix[i].sum() == small_registry.count(label)
+
+    def test_repetitions_multiply_predictions(self, small_registry):
+        result = crossvalidate_identification(
+            small_registry, n_splits=4, repetitions=2, seed=3
+        )
+        total = sum(small_registry.count(label) for label in small_registry.labels)
+        assert len(result.y_true) == 2 * total
+
+    def test_multi_match_fraction_bounds(self, small_registry):
+        result = crossvalidate_identification(
+            small_registry, n_splits=4, repetitions=1, seed=3
+        )
+        assert 0.0 <= result.multi_match_fraction <= 1.0
+
+
+class TestTiming:
+    def test_rows_produced(self, small_registry, small_identifier):
+        rows = measure_identification_timing(
+            small_registry, small_identifier, trials=5, seed=1
+        )
+        steps = [row.step for row in rows]
+        assert any("1 Classification" in s for s in steps)
+        assert any("Discrimination" in s for s in steps)
+        assert any("Fingerprint extraction" in s for s in steps)
+        assert any("Type Identification" in s for s in steps)
+        for row in rows:
+            assert row.mean_ms >= 0.0
+            assert "ms" in str(row)
+
+    def test_full_identification_slower_than_single_classification(
+        self, small_registry, small_identifier
+    ):
+        rows = {r.step: r for r in measure_identification_timing(
+            small_registry, small_identifier, trials=10, seed=2
+        )}
+        single = rows["1 Classification (Random Forest)"]
+        full = rows["Type Identification"]
+        assert full.mean_ms > single.mean_ms
+
+
+class TestEnforcementRunners:
+    def test_latency_matrix_shape(self):
+        cells = run_latency_matrix(iterations=5, seed=1, pairs=TABLE5_PAIRS[:3])
+        assert len(cells) == 3
+        for cell in cells:
+            assert cell.filtering_mean > 0
+            assert abs(cell.overhead_percent) < 20
+
+    def test_cpu_sweep_monotonic_trend(self):
+        series = run_cpu_sweep(flow_counts=(0, 60, 140), duration=15.0, seed=2)
+        for key in ("With Filtering", "Without Filtering"):
+            points = series[key]
+            assert points[0][1] < points[-1][1]  # CPU grows with flows
+            assert points[0][1] == pytest.approx(37.0, abs=1.0)  # idle baseline
+
+    def test_memory_sweep_linear_growth(self):
+        series = run_memory_sweep(rule_counts=(0, 1000, 2000))
+        filt = series["With Filtering"]
+        growth1 = filt[1][1] - filt[0][1]
+        growth2 = filt[2][1] - filt[1][1]
+        assert growth1 == pytest.approx(growth2, rel=0.05)
+        baseline = series["Without Filtering"]
+        assert all(v == baseline[0][1] for _, v in baseline)
+
+
+class TestRendering:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "--" in lines[1]
+
+    def test_render_accuracy_bars(self):
+        out = render_accuracy_bars({"Aria": 1.0, "iKettle2": 0.5}, width=10)
+        assert "##########" in out
+        assert "#####" in out
+
+    def test_render_confusion(self):
+        matrix = np.array([[5, 1], [2, 4]])
+        out = render_confusion(matrix, ["typeA", "typeB"])
+        assert "A\\P" in out
+        assert "typeA" in out
+
+    def test_render_series(self):
+        out = render_series({"s1": [(10, 1.5), (20, 2.5)]}, unit="ms")
+        assert "10" in out and "2.50" in out

@@ -1,0 +1,47 @@
+"""Seed-robustness of the headline reproduction numbers.
+
+The benchmark suite pins seeds; this test checks that the Fig. 5 result
+shape is not a seed artifact: across independently generated corpora and
+train/test splits, global accuracy stays in the paper's neighbourhood and
+the sibling groups stay the hard cases.
+"""
+
+import numpy as np
+
+from repro.core import DeviceIdentifier, DeviceTypeRegistry
+from repro.devices import CONFUSION_GROUPS, collect_dataset
+
+
+def _split_accuracy(seed: int) -> tuple[float, dict]:
+    corpus = collect_dataset(runs_per_device=14, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    train, test = DeviceTypeRegistry(), []
+    for label in corpus.labels:
+        fps = corpus.fingerprints(label)
+        order = rng.permutation(len(fps))
+        for i in order[:10]:
+            train.add(label, fps[i])
+        for i in order[10:]:
+            test.append((label, fps[i]))
+    identifier = DeviceIdentifier(random_state=seed + 2).fit(train)
+    outcomes = identifier.identify_batch([fp for _, fp in test])
+    per_label: dict = {}
+    for (label, _), outcome in zip(test, outcomes):
+        hits, total = per_label.get(label, (0, 0))
+        per_label[label] = (hits + (outcome.label == label), total + 1)
+    correct = sum(hits for hits, _ in per_label.values())
+    total = sum(total for _, total in per_label.values())
+    accuracy = {label: hits / count for label, (hits, count) in per_label.items()}
+    return correct / total, accuracy
+
+
+class TestSeedRobustness:
+    def test_accuracy_band_across_seeds(self):
+        siblings = {m for group in CONFUSION_GROUPS.values() for m in group}
+        for seed in (301, 302, 303):
+            global_acc, per_label = _split_accuracy(seed)
+            assert 0.72 <= global_acc <= 0.97, (seed, global_acc)
+            # The weakest performers are dominated by the sibling groups.
+            worst = sorted(per_label, key=per_label.get)[:6]
+            overlap = sum(name in siblings for name in worst)
+            assert overlap >= 4, (seed, worst)

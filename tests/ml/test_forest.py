@@ -1,0 +1,84 @@
+"""Random Forest unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier
+
+
+def binary_task(rng, n=240, d=20):
+    x = rng.integers(0, 2, size=(n, d)).astype(float)
+    y = ((x[:, 0] + x[:, 1] + x[:, 2]) >= 2).astype(int)
+    return x, y
+
+
+class TestForest:
+    def test_beats_chance_heavily(self, rng):
+        x, y = binary_task(rng)
+        forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(x[:180], y[:180])
+        acc = np.mean(forest.predict(x[180:]) == y[180:])
+        assert acc > 0.9
+
+    def test_proba_shape_and_sum(self, rng):
+        x, y = binary_task(rng)
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(x, y)
+        proba = forest.predict_proba(x[:10])
+        assert proba.shape == (10, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_classes_sorted(self, rng):
+        x, y = binary_task(rng)
+        labels = np.where(y == 1, "zeta", "alpha")
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(x, labels)
+        assert list(forest.classes_) == ["alpha", "zeta"]
+
+    def test_multiclass(self, rng):
+        x = rng.normal(size=(300, 5))
+        y = np.digitize(x[:, 0], [-0.5, 0.5])  # 3 classes
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(x, y)
+        assert np.mean(forest.predict(x) == y) > 0.85
+
+    def test_rare_class_survives_bootstrap(self, rng):
+        # One class with a single sample: the resample repair must keep
+        # every tree aware of all classes.
+        x = rng.normal(size=(50, 4))
+        y = np.zeros(50, dtype=int)
+        y[0] = 1
+        forest = RandomForestClassifier(n_estimators=8, random_state=0).fit(x, y)
+        proba = forest.predict_proba(x[:1])
+        assert proba.shape == (1, 2)
+
+    def test_no_bootstrap_mode(self, rng):
+        x, y = binary_task(rng)
+        forest = RandomForestClassifier(n_estimators=3, bootstrap=False, random_state=0).fit(x, y)
+        assert np.mean(forest.predict(x) == y) > 0.95
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = binary_task(rng)
+        p1 = RandomForestClassifier(n_estimators=5, random_state=3).fit(x, y).predict_proba(x)
+        p2 = RandomForestClassifier(n_estimators=5, random_state=3).fit(x, y).predict_proba(x)
+        assert np.array_equal(p1, p2)
+
+    def test_different_seeds_differ(self, rng):
+        x, y = binary_task(rng)
+        p1 = RandomForestClassifier(n_estimators=5, random_state=3).fit(x, y).predict_proba(x)
+        p2 = RandomForestClassifier(n_estimators=5, random_state=4).fit(x, y).predict_proba(x)
+        assert not np.array_equal(p1, p2)
+
+
+class TestForestValidation:
+    def test_needs_at_least_one_tree(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((5, 2)), np.zeros(3))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))

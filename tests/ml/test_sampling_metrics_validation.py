@@ -1,0 +1,105 @@
+"""Negative sampling, metrics and stratified CV tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    build_binary_training_set,
+    confusion_matrix,
+    negative_subsample,
+    per_class_accuracy,
+    stratified_kfold,
+)
+
+
+class TestNegativeSampling:
+    def test_ratio_honoured(self, rng):
+        negatives = np.arange(500).reshape(-1, 1)
+        out = negative_subsample(negatives, n_positive=10, ratio=10, rng=rng)
+        assert len(out) == 100
+
+    def test_capped_at_pool_size(self, rng):
+        negatives = np.arange(30).reshape(-1, 1)
+        out = negative_subsample(negatives, n_positive=10, ratio=10, rng=rng)
+        assert len(out) == 30
+
+    def test_no_duplicates(self, rng):
+        negatives = np.arange(200).reshape(-1, 1)
+        out = negative_subsample(negatives, n_positive=5, ratio=10, rng=rng)
+        assert len(np.unique(out)) == len(out)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            negative_subsample(np.zeros((10, 1)), n_positive=0, rng=rng)
+        with pytest.raises(ValueError):
+            negative_subsample(np.zeros((10, 1)), n_positive=1, ratio=0, rng=rng)
+
+    def test_training_set_labels(self, rng):
+        positives = np.ones((4, 3))
+        negatives = np.zeros((100, 3))
+        x, y = build_binary_training_set(positives, negatives, ratio=10, rng=rng)
+        assert len(x) == 44
+        assert y[:4].all() and not y[4:].any()
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 1, 0], [1, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_matrix_with_unseen_predicted_label(self):
+        matrix, labels = confusion_matrix(["a"], ["unknown"], labels=["a", "unknown"])
+        assert matrix.tolist() == [[0, 1], [0, 0]]
+
+    def test_per_class(self):
+        result = per_class_accuracy(["a", "a", "b"], ["a", "b", "b"])
+        assert result == {"a": 0.5, "b": 1.0}
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=50))
+    def test_confusion_diagonal_matches_accuracy(self, labels):
+        matrix, order = confusion_matrix(labels, labels)
+        assert np.trace(matrix) == len(labels)
+        assert matrix.sum() == len(labels)
+        del order
+
+
+class TestStratifiedKFold:
+    def test_partition_property(self, rng):
+        labels = np.array(["x"] * 20 + ["y"] * 30)
+        seen = []
+        for train, test in stratified_kfold(labels, 5, rng=rng):
+            assert set(train) & set(test) == set()
+            seen.extend(test)
+        assert sorted(seen) == list(range(50))
+
+    def test_stratification(self, rng):
+        labels = np.array(["x"] * 20 + ["y"] * 40)
+        for _train, test in stratified_kfold(labels, 10, rng=rng):
+            test_labels = labels[test]
+            assert np.sum(test_labels == "x") == 2
+            assert np.sum(test_labels == "y") == 4
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ValueError, match="cannot stratify"):
+            list(stratified_kfold(["a"] * 3 + ["b"] * 20, 10, rng=rng))
+
+    def test_needs_two_folds(self, rng):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(["a"] * 10, 1, rng=rng))
+
+    def test_fold_count(self, rng):
+        folds = list(stratified_kfold(["a"] * 12 + ["b"] * 12, 4, rng=rng))
+        assert len(folds) == 4

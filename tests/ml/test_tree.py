@@ -1,0 +1,101 @@
+"""Decision tree unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+
+
+def separable_data(rng, n=120):
+    x = rng.normal(size=(n, 6))
+    y = (x[:, 0] + x[:, 3] > 0).astype(int)
+    return x, y
+
+
+class TestFit:
+    def test_perfect_fit_on_training_data(self, rng):
+        x, y = separable_data(rng)
+        tree = DecisionTreeClassifier(max_features=None, random_state=0).fit(x, y)
+        assert np.mean(tree.predict(x) == y) == 1.0
+
+    def test_generalizes_on_separable_task(self, rng):
+        x, y = separable_data(rng, n=300)
+        tree = DecisionTreeClassifier(max_features=None, random_state=0).fit(x[:200], y[:200])
+        assert np.mean(tree.predict(x[200:]) == y[200:]) > 0.85
+
+    def test_single_class(self, rng):
+        x = rng.normal(size=(20, 3))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier(random_state=0).fit(x, y)
+        assert (tree.predict(x) == 0).all()
+        assert tree.depth() == 0
+
+    def test_string_labels(self, rng):
+        x, y_num = separable_data(rng)
+        y = np.where(y_num == 1, "cat", "dog")
+        tree = DecisionTreeClassifier(max_features=None, random_state=0).fit(x, y)
+        assert set(tree.predict(x)) <= {"cat", "dog"}
+
+    def test_max_depth_respected(self, rng):
+        x, y = separable_data(rng)
+        tree = DecisionTreeClassifier(max_depth=2, max_features=None, random_state=0).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_split(self, rng):
+        x, y = separable_data(rng)
+        stump = DecisionTreeClassifier(
+            min_samples_split=len(x) + 1, max_features=None, random_state=0
+        ).fit(x, y)
+        assert stump.depth() == 0
+
+    def test_constant_features_give_leaf(self):
+        x = np.ones((30, 4))
+        y = np.array([0, 1] * 15)
+        tree = DecisionTreeClassifier(max_features=None, random_state=0).fit(x, y)
+        assert tree.depth() == 0
+        proba = tree.predict_proba(x[:1])[0]
+        assert proba == pytest.approx([0.5, 0.5])
+
+
+class TestValidation:
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_bad_max_features(self, rng):
+        x, y = separable_data(rng)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features=100).fit(x, y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_predict_rejects_1d(self, rng):
+        x, y = separable_data(rng)
+        tree = DecisionTreeClassifier(random_state=0).fit(x, y)
+        with pytest.raises(ValueError):
+            tree.predict(x[0])
+
+
+class TestProbabilities:
+    def test_rows_sum_to_one(self, rng):
+        x, y = separable_data(rng)
+        tree = DecisionTreeClassifier(max_depth=3, max_features=None, random_state=0).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert proba.shape == (len(x), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = separable_data(rng)
+        p1 = DecisionTreeClassifier(random_state=7).fit(x, y).predict_proba(x)
+        p2 = DecisionTreeClassifier(random_state=7).fit(x, y).predict_proba(x)
+        assert np.array_equal(p1, p2)

@@ -1,0 +1,104 @@
+"""Airtime contention model and batch identification tests."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import AirtimeMeter, ContentionModel, FlowLoadGenerator, LatencyProbe, measure_rtt
+from repro.reporting import build_testbed
+
+
+class TestAirtimeMeter:
+    def test_rate_counts_window(self):
+        meter = AirtimeMeter(window=1.0)
+        for t in (0.0, 0.2, 0.4, 0.6):
+            meter.record(t)
+        assert meter.rate(0.6) == pytest.approx(4.0)
+
+    def test_old_events_expire(self):
+        meter = AirtimeMeter(window=1.0)
+        meter.record(0.0)
+        meter.record(5.0)
+        assert meter.rate(5.0) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert AirtimeMeter().rate(10.0) == 0.0
+
+
+class TestContentionModel:
+    def test_linear_region(self):
+        model = ContentionModel(per_pps_delay=2e-6, saturation_pps=4000)
+        assert model.extra_delay(1000) == pytest.approx(2e-3)
+
+    def test_saturation_clamp(self):
+        model = ContentionModel(per_pps_delay=2e-6, saturation_pps=4000)
+        assert model.extra_delay(100000) == model.extra_delay(4000)
+
+    def test_negative_rate_clamped(self):
+        assert ContentionModel().extra_delay(-5) == 0.0
+
+
+class TestContentionIntegration:
+    def test_loaded_channel_raises_wifi_rtt(self):
+        meter = AirtimeMeter()
+        model = ContentionModel(per_pps_delay=4e-6)
+        testbed = build_testbed(filtering=True)
+        load = FlowLoadGenerator(
+            testbed.topology,
+            testbed.simgw,
+            testbed.scheduler,
+            rng=np.random.default_rng(1),
+            airtime=meter,
+        )
+        load.start(load.make_flows(150), duration=30.0)
+        probe = LatencyProbe(
+            testbed.topology,
+            testbed.simgw,
+            rng=np.random.default_rng(2),
+            airtime=meter,
+            contention=model,
+        )
+        loaded_rtt, _ = measure_rtt(probe, "D1", "D2", iterations=10)
+
+        quiet = build_testbed(filtering=True)
+        quiet_probe = LatencyProbe(
+            quiet.topology, quiet.simgw, rng=np.random.default_rng(2),
+            airtime=AirtimeMeter(), contention=model,
+        )
+        quiet_rtt, _ = measure_rtt(quiet_probe, "D1", "D2", iterations=10)
+        assert loaded_rtt > quiet_rtt + 2.0  # four contended wifi hops
+
+    def test_contention_off_by_default(self):
+        testbed = build_testbed(filtering=True)
+        probe = testbed.probe(np.random.default_rng(3))
+        assert probe.airtime is None and probe.contention is None
+
+
+class TestBatchIdentification:
+    def test_batch_matches_single(self, small_registry, small_identifier):
+        fps = [
+            fp
+            for label in small_registry.labels
+            for fp in small_registry.fingerprints(label)[:2]
+        ]
+        batched = small_identifier.classify_batch(fps)
+        assert batched == [small_identifier.classify(fp) for fp in fps]
+
+    def test_identify_batch_labels(self, small_registry, small_identifier):
+        fps = [small_registry.fingerprints(label)[0] for label in small_registry.labels]
+        outcomes = small_identifier.identify_batch(fps)
+        assert len(outcomes) == len(fps)
+        correct = sum(
+            outcome.label == label
+            for outcome, label in zip(outcomes, small_registry.labels)
+        )
+        assert correct >= len(fps) - 2
+
+    def test_empty_batch(self, small_identifier):
+        assert small_identifier.classify_batch([]) == []
+        assert small_identifier.identify_batch([]) == []
+
+    def test_untrained_batch_raises(self):
+        from repro.core import DeviceIdentifier, Fingerprint
+
+        with pytest.raises(RuntimeError):
+            DeviceIdentifier().classify_batch([Fingerprint(packets=())])

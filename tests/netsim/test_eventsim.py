@@ -1,0 +1,80 @@
+"""Discrete-event scheduler tests."""
+
+import pytest
+
+from repro.netsim import EventScheduler
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(2.0, lambda: order.append("b"))
+        scheduler.schedule_at(1.0, lambda: order.append("a"))
+        scheduler.schedule_at(3.0, lambda: order.append("c"))
+        scheduler.run_until(10.0)
+        assert order == ["a", "b", "c"]
+        assert scheduler.now == 10.0
+
+    def test_fifo_for_simultaneous_events(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(1.0, lambda: order.append(1))
+        scheduler.schedule_at(1.0, lambda: order.append(2))
+        scheduler.run_until(1.0)
+        assert order == [1, 2]
+
+    def test_run_until_partial(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(5.0, lambda: fired.append(5))
+        scheduler.run_until(2.0)
+        assert fired == [1]
+        assert scheduler.pending == 1
+
+    def test_schedule_in_relative(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(10.0)
+        fired = []
+        scheduler.schedule_in(5.0, lambda: fired.append(scheduler.now))
+        scheduler.run_until(20.0)
+        assert fired == [15.0]
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def cascade():
+            fired.append(scheduler.now)
+            if len(fired) < 3:
+                scheduler.schedule_in(1.0, cascade)
+
+        scheduler.schedule_at(0.0, cascade)
+        scheduler.run_until(10.0)
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_in(-1.0, lambda: None)
+
+    def test_run_all_with_bound(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_in(1.0, forever)
+
+        scheduler.schedule_at(0.0, forever)
+        with pytest.raises(RuntimeError, match="runaway"):
+            scheduler.run_all(max_events=10)
+
+    def test_event_counter(self):
+        scheduler = EventScheduler()
+        for i in range(4):
+            scheduler.schedule_at(float(i), lambda: None)
+        scheduler.run_until(10.0)
+        assert scheduler.events_run == 4

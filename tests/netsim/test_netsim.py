@@ -1,0 +1,177 @@
+"""Latency models, gateway queueing, topology, probes and flow load."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    DEFAULT_LINKS,
+    EventScheduler,
+    FlowLoadGenerator,
+    HopModel,
+    LabTopology,
+    LatencyProbe,
+    MemoryModel,
+    ServiceCosts,
+    SimulatedGateway,
+    measure_rtt,
+)
+from repro.reporting import build_testbed
+from repro.sdn import EnforcementRule, IsolationLevel
+
+
+class TestHopModel:
+    def test_samples_near_mean(self, rng):
+        hop = HopModel(mean=6e-3, jitter=0.5e-3)
+        samples = np.array([hop.sample(rng) for _ in range(500)])
+        assert abs(samples.mean() - 6e-3) < 0.3e-3
+
+    def test_floor_enforced(self, rng):
+        hop = HopModel(mean=1e-3, jitter=100e-3)  # absurd jitter
+        assert min(hop.sample(rng) for _ in range(200)) >= 0.25e-3
+
+    def test_link_profile_lookup(self):
+        assert DEFAULT_LINKS.hop("wifi").mean > DEFAULT_LINKS.hop("eth0").mean
+        with pytest.raises(ValueError):
+            DEFAULT_LINKS.hop("carrier-pigeon")
+
+
+class TestServiceCosts:
+    def test_punt_dominates(self):
+        costs = ServiceCosts()
+        assert costs.controller_punt > 10 * costs.base_forward
+
+    def test_filtering_adds_cost(self):
+        filt = build_testbed(filtering=True)
+        base = build_testbed(filtering=False)
+        from repro.packets import builder
+
+        frame = builder.udp_raw_frame(
+            "0a:00:00:00:00:01", "0a:00:00:00:01:01", "192.168.1.11",
+            "192.168.1.200", 50000, 9999, b"x",
+        )
+        _, d_filt = filt.simgw.submit("0a:00:00:00:00:01", frame)
+        _, d_base = base.simgw.submit("0a:00:00:00:00:01", frame)
+        assert d_filt > d_base  # policy check + rule-cache lookup
+
+
+class TestTopology:
+    def test_hosts_present(self):
+        testbed = build_testbed(filtering=True)
+        names = set(testbed.topology.hosts)
+        assert names == {"D1", "D2", "D3", "D4", "Slocal", "Sremote"}
+        assert testbed.topology.device_names == ["D1", "D2", "D3", "D4"]
+
+    def test_devices_preauthorized_trusted(self):
+        testbed = build_testbed(filtering=True)
+        for name in testbed.topology.device_names:
+            mac = testbed.topology.host(name).mac
+            assert testbed.gateway.isolation_level(mac) is IsolationLevel.TRUSTED
+
+    def test_remote_reachable_via_wan(self):
+        testbed = build_testbed(filtering=True)
+        from repro.gateway.gateway import WAN_PORT
+
+        assert testbed.gateway.switch.port_of(testbed.topology.host("Sremote").mac) == WAN_PORT
+
+
+class TestQueueing:
+    def test_fifo_backlog_increases_delay(self):
+        testbed = build_testbed(filtering=False)
+        from repro.packets import builder
+
+        src = testbed.topology.host("D1")
+        frame = builder.udp_raw_frame(
+            src.mac, testbed.topology.host("Slocal").mac, src.ip,
+            "192.168.1.200", 50000, 9999, b"x",
+        )
+        _, first = testbed.simgw.submit(src.mac, frame)
+        _, second = testbed.simgw.submit(src.mac, frame)  # same instant: queues
+        # The second packet waits for the first's full service time and
+        # then gets its own (smaller, flow-table-hit) service on top.
+        assert second > first
+
+    def test_utilization_includes_baseline(self):
+        testbed = build_testbed(filtering=True)
+        assert testbed.simgw.utilization(10.0) == pytest.approx(0.37, abs=0.01)
+
+    def test_utilization_window_validation(self):
+        testbed = build_testbed(filtering=True)
+        with pytest.raises(ValueError):
+            testbed.simgw.utilization(0.0)
+
+
+class TestProbes:
+    def test_rtt_in_expected_band(self):
+        testbed = build_testbed(filtering=True)
+        probe = testbed.probe(np.random.default_rng(0))
+        mean, std = measure_rtt(probe, "D1", "D4", iterations=15)
+        assert 20.0 < mean < 32.0  # paper band: ~25-28 ms client<->client
+        assert std < 5.0
+
+    def test_local_server_faster_than_peer(self):
+        testbed = build_testbed(filtering=True)
+        probe = testbed.probe(np.random.default_rng(0))
+        d_d4, _ = measure_rtt(probe, "D1", "D4", iterations=10)
+        d_local, _ = measure_rtt(probe, "D1", "Slocal", iterations=10)
+        assert d_local < d_d4
+
+    def test_filtering_overhead_is_small(self):
+        means = {}
+        for filtering in (True, False):
+            testbed = build_testbed(filtering=filtering)
+            probe = testbed.probe(np.random.default_rng(7))
+            means[filtering], _ = measure_rtt(probe, "D2", "D4", iterations=15)
+        overhead = (means[True] - means[False]) / means[False]
+        assert abs(overhead) < 0.08  # "does not impact the latency"
+
+
+class TestFlowLoad:
+    def test_flows_drive_packets(self):
+        testbed = build_testbed(filtering=True)
+        load = FlowLoadGenerator(
+            testbed.topology, testbed.simgw, testbed.scheduler, rng=np.random.default_rng(1)
+        )
+        load.start(load.make_flows(10), duration=5.0)
+        testbed.scheduler.run_until(5.0)
+        assert load.packets_sent > 100  # ~10 flows * 10 pps * 5 s
+
+    def test_make_flows_distinct(self):
+        testbed = build_testbed(filtering=True)
+        load = FlowLoadGenerator(
+            testbed.topology, testbed.simgw, testbed.scheduler, rng=np.random.default_rng(1)
+        )
+        flows = load.make_flows(30)
+        assert len({(f.src_port, f.dst_port) for f in flows}) == 30
+
+    def test_load_raises_utilization(self):
+        idle = build_testbed(filtering=True)
+        idle.scheduler.run_until(10.0)
+        busy = build_testbed(filtering=True)
+        load = FlowLoadGenerator(
+            busy.topology, busy.simgw, busy.scheduler, rng=np.random.default_rng(1)
+        )
+        load.start(load.make_flows(100), duration=10.0)
+        busy.scheduler.run_until(10.0)
+        assert busy.simgw.utilization(10.0) > idle.simgw.utilization(10.0) + 0.03
+
+
+class TestMemoryModel:
+    def test_memory_linear_in_rules(self):
+        model = MemoryModel()
+        testbed = build_testbed(filtering=True)
+        base = model.memory_mb(testbed.gateway)
+        for i in range(1000):
+            testbed.gateway.rule_cache.insert(
+                EnforcementRule(
+                    device_mac=f"0e:00:00:{(i >> 8) & 255:02x}:{i & 255:02x}:01",
+                    level=IsolationLevel.TRUSTED,
+                )
+            )
+        grown = model.memory_mb(testbed.gateway)
+        assert grown == pytest.approx(base + 1000 * 96 / 1e6, rel=0.01)
+
+    def test_no_filtering_baseline_lower(self):
+        model = MemoryModel()
+        assert model.memory_mb(build_testbed(filtering=False).gateway) < model.memory_mb(
+            build_testbed(filtering=True).gateway
+        )

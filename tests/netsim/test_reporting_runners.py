@@ -1,0 +1,69 @@
+"""Enforcement experiment-runner helpers (reporting.enforcement units)."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import TABLE5_PAIRS, LatencyCell, build_testbed
+from repro.reporting.enforcement import run_latency_matrix
+
+
+class TestLatencyCell:
+    def test_overhead_percent(self):
+        cell = LatencyCell(
+            src="D1", dst="D4",
+            filtering_mean=25.5, filtering_std=1.0,
+            baseline_mean=25.0, baseline_std=1.0,
+        )
+        assert cell.overhead_percent == pytest.approx(2.0)
+
+    def test_negative_overhead_possible(self):
+        cell = LatencyCell(
+            src="D1", dst="D4",
+            filtering_mean=24.0, filtering_std=1.0,
+            baseline_mean=25.0, baseline_std=1.0,
+        )
+        assert cell.overhead_percent < 0
+
+
+class TestTable5Pairs:
+    def test_nine_pairs(self):
+        assert len(TABLE5_PAIRS) == 9
+        sources = {src for src, _ in TABLE5_PAIRS}
+        destinations = {dst for _, dst in TABLE5_PAIRS}
+        assert sources == {"D1", "D2", "D3"}
+        assert destinations == {"D4", "Slocal", "Sremote"}
+
+
+class TestBuildTestbed:
+    def test_filtering_modes(self):
+        assert build_testbed(filtering=True).gateway.filtering
+        assert not build_testbed(filtering=False).gateway.filtering
+
+    def test_custom_costs_used(self):
+        from repro.netsim import ServiceCosts
+
+        expensive = ServiceCosts(base_forward=1e-3)
+        testbed = build_testbed(filtering=False, costs=expensive)
+        from repro.packets import builder
+
+        src = testbed.topology.host("D1")
+        frame = builder.udp_raw_frame(
+            src.mac, testbed.topology.host("Slocal").mac, src.ip,
+            "192.168.1.200", 50000, 9999, b"x",
+        )
+        _, delay = testbed.simgw.submit(src.mac, frame)
+        assert delay >= 1e-3
+
+    def test_probe_helper(self):
+        testbed = build_testbed(filtering=True)
+        probe = testbed.probe(np.random.default_rng(1))
+        rtt = probe.rtt("D1", "Slocal")
+        assert 0.005 < rtt < 0.05
+
+
+class TestRunLatencyMatrixSubset:
+    def test_single_pair(self):
+        cells = run_latency_matrix(iterations=4, seed=2, pairs=(("D1", "Slocal"),))
+        assert len(cells) == 1
+        assert cells[0].src == "D1" and cells[0].dst == "Slocal"
+        assert cells[0].filtering_std >= 0

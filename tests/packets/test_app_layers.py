@@ -1,0 +1,175 @@
+"""DHCP / DNS / SSDP / HTTP / NTP application-layer tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import dhcp, dns, http, ntp, ssdp
+from repro.packets.base import DecodeError
+
+
+class TestDHCP:
+    def test_discover_roundtrip(self):
+        message = dhcp.discover("aa:bb:cc:dd:ee:01", xid=99, hostname="cam")
+        parsed, _ = dhcp.DHCPMessage.unpack(message.pack())
+        assert parsed.is_dhcp
+        assert parsed.message_type == dhcp.DHCPDISCOVER
+        assert parsed.client_mac == "aa:bb:cc:dd:ee:01"
+        assert parsed.xid == 99
+        assert parsed.option(dhcp.OPTION_HOSTNAME) == b"cam"
+
+    def test_request_carries_requested_ip(self):
+        message = dhcp.request("aa:bb:cc:dd:ee:01", 7, "192.168.1.50", "192.168.1.1")
+        parsed, _ = dhcp.DHCPMessage.unpack(message.pack())
+        assert parsed.message_type == dhcp.DHCPREQUEST
+        assert parsed.option(dhcp.OPTION_REQUESTED_IP) == bytes([192, 168, 1, 50])
+
+    def test_bootp_without_options(self):
+        message = dhcp.bootp_request("aa:bb:cc:dd:ee:01", 3)
+        parsed, _ = dhcp.DHCPMessage.unpack(message.pack())
+        assert not parsed.is_dhcp
+        assert parsed.message_type is None
+        assert not parsed.has_cookie
+
+    def test_unsupported_hlen(self):
+        raw = bytearray(dhcp.discover("aa:bb:cc:dd:ee:01", 1).pack())
+        raw[2] = 8  # hlen
+        with pytest.raises(DecodeError):
+            dhcp.DHCPMessage.unpack(bytes(raw))
+
+    def test_truncated_option(self):
+        raw = dhcp.discover("aa:bb:cc:dd:ee:01", 1).pack()
+        # Strip the END option and part of the final option's value.
+        with pytest.raises(DecodeError):
+            dhcp.DHCPMessage.unpack(raw[:-3])
+
+
+class TestDNS:
+    def test_query_roundtrip(self):
+        message = dns.query("api.vendor.example", txid=42)
+        parsed, rest = dns.DNSMessage.unpack(message.pack())
+        assert rest == b""
+        assert parsed.txid == 42
+        assert not parsed.is_response
+        assert parsed.questions[0].name == "api.vendor.example"
+
+    def test_response_with_records(self):
+        record = dns.DNSRecord(name="host.local", rtype=dns.TYPE_A, rdata=bytes([1, 2, 3, 4]))
+        message = dns.DNSMessage(txid=1, is_response=True, answers=(record,))
+        parsed, _ = dns.DNSMessage.unpack(message.pack())
+        assert parsed.is_response
+        assert parsed.answers[0].name == "host.local"
+        assert parsed.answers[0].rdata == bytes([1, 2, 3, 4])
+
+    def test_mdns_query_txid_zero(self):
+        assert dns.mdns_query("_hue._tcp.local").txid == 0
+
+    def test_name_compression_decoded(self):
+        # Build a message with a compression pointer by hand: question
+        # "a.example" then an answer whose name points back at offset 12.
+        question = dns.DNSQuestion(name="a.example")
+        header = (1).to_bytes(2, "big") + b"\x84\x00" + b"\x00\x01\x00\x01\x00\x00\x00\x00"
+        body = question.pack()
+        pointer_record = b"\xc0\x0c" + b"\x00\x01\x00\x01\x00\x00\x00\x78\x00\x04" + bytes(4)
+        parsed, _ = dns.DNSMessage.unpack(header + body + pointer_record)
+        assert parsed.answers[0].name == "a.example"
+
+    def test_compression_loop_detected(self):
+        header = (1).to_bytes(2, "big") + b"\x04\x00" + b"\x00\x01\x00\x00\x00\x00\x00\x00"
+        loop = b"\xc0\x0c\x00\x01\x00\x01"  # pointer to itself
+        with pytest.raises(DecodeError, match="loop"):
+            dns.DNSMessage.unpack(header + loop)
+
+    def test_label_too_long(self):
+        with pytest.raises(DecodeError):
+            dns.encode_name("a" * 64 + ".example")
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_name_roundtrip(self, labels):
+        name = ".".join(labels)
+        message = dns.query(name)
+        parsed, _ = dns.DNSMessage.unpack(message.pack())
+        assert parsed.questions[0].name == name
+
+
+class TestSSDP:
+    def test_msearch_roundtrip(self):
+        message = ssdp.m_search("upnp:rootdevice", mx=3)
+        parsed, _ = ssdp.SSDPMessage.unpack(message.pack())
+        assert parsed.method == "M-SEARCH"
+        assert parsed.header("ST") == "upnp:rootdevice"
+        assert parsed.header("mx") == "3"
+
+    def test_notify_alive(self):
+        message = ssdp.notify_alive("http://192.168.1.5/desc.xml", "upnp:rootdevice", "uuid:x")
+        parsed, _ = ssdp.SSDPMessage.unpack(message.pack())
+        assert parsed.method == "NOTIFY"
+        assert parsed.header("NTS") == "ssdp:alive"
+
+    def test_sniffer(self):
+        assert ssdp.looks_like_ssdp(b"M-SEARCH * HTTP/1.1\r\n\r\n")
+        assert ssdp.looks_like_ssdp(b"NOTIFY * HTTP/1.1\r\n\r\n")
+        assert not ssdp.looks_like_ssdp(b"GET / HTTP/1.1\r\n\r\n")
+
+    def test_not_ssdp_raises(self):
+        with pytest.raises(DecodeError):
+            ssdp.SSDPMessage.unpack(b"garbage")
+
+
+class TestHTTP:
+    def test_get_roundtrip(self):
+        message = http.get_request("api.example.com", "/setup.xml", user_agent="wemo")
+        parsed, _ = http.HTTPMessage.unpack(message.pack())
+        assert parsed.is_request
+        assert parsed.start_line == "GET /setup.xml HTTP/1.1"
+        assert parsed.header("host") == "api.example.com"
+        assert parsed.header("User-Agent") == "wemo"
+
+    def test_post_with_body(self):
+        message = http.post_request("h.example", "/api", b"\x01\x02\x03")
+        parsed, _ = http.HTTPMessage.unpack(message.pack())
+        assert parsed.body == b"\x01\x02\x03"
+        assert parsed.header("Content-Length") == "3"
+
+    def test_response_detection(self):
+        parsed, _ = http.HTTPMessage.unpack(b"HTTP/1.1 200 OK\r\nServer: x\r\n\r\n")
+        assert not parsed.is_request
+
+    def test_sniffer(self):
+        assert http.looks_like_http(b"GET / HTTP/1.1\r\n\r\n")
+        assert http.looks_like_http(b"HTTP/1.1 404 Not Found\r\n\r\n")
+        assert not http.looks_like_http(b"\x16\x03\x01\x00\x10")
+
+    def test_tls_sniffer(self):
+        hello = http.tls_client_hello("cloud.example.com")
+        assert http.looks_like_tls(hello)
+        assert not http.looks_like_tls(b"GET / HTTP/1.1")
+        assert not http.looks_like_tls(b"\x16\x02")
+
+    def test_tls_hello_size_varies_with_sni(self):
+        short = http.tls_client_hello("a.io")
+        long = http.tls_client_hello("very-long-vendor-cloud-hostname.example.com")
+        assert len(long) > len(short)
+
+
+class TestNTP:
+    def test_roundtrip(self):
+        packet = ntp.client_request(transmit_time=1700000000.125)
+        parsed, rest = ntp.NTPPacket.unpack(packet.pack())
+        assert rest == b""
+        assert parsed.mode == ntp.MODE_CLIENT
+        assert parsed.version == 4
+        assert parsed.transmit_time == pytest.approx(1700000000.125, abs=1e-6)
+
+    def test_packet_is_48_bytes(self):
+        assert len(ntp.client_request().pack()) == 48
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            ntp.NTPPacket.unpack(b"\x00" * 40)

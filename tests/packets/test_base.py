@@ -1,0 +1,117 @@
+"""Unit tests for address conversions and checksum helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.base import (
+    DecodeError,
+    EncodeError,
+    inet_checksum,
+    ipv4_to_bytes,
+    ipv4_to_str,
+    ipv6_to_bytes,
+    ipv6_to_str,
+    mac_to_bytes,
+    mac_to_str,
+    require,
+)
+
+
+class TestMacConversion:
+    def test_roundtrip(self):
+        assert mac_to_str(mac_to_bytes("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_dash_separator_accepted(self):
+        assert mac_to_bytes("13-73-74-7E-A9-C2") == bytes.fromhex("1373747EA9C2")
+
+    def test_uppercase_normalized(self):
+        assert mac_to_str(mac_to_bytes("AA:BB:CC:00:11:22")) == "aa:bb:cc:00:11:22"
+
+    @pytest.mark.parametrize("bad", ["", "aa:bb:cc", "aa:bb:cc:dd:ee", "zz:bb:cc:dd:ee:ff"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(EncodeError):
+            mac_to_bytes(bad)
+
+    def test_wrong_length_bytes_rejected(self):
+        with pytest.raises(DecodeError):
+            mac_to_str(b"\x01\x02\x03")
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_bytes_roundtrip(self, raw):
+        assert mac_to_bytes(mac_to_str(raw)) == raw
+
+
+class TestIPv4Conversion:
+    def test_roundtrip(self):
+        assert ipv4_to_str(ipv4_to_bytes("192.168.1.20")) == "192.168.1.20"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(EncodeError):
+            ipv4_to_bytes(bad)
+
+    @given(st.binary(min_size=4, max_size=4))
+    def test_bytes_roundtrip(self, raw):
+        assert ipv4_to_bytes(ipv4_to_str(raw)) == raw
+
+
+class TestIPv6Conversion:
+    @pytest.mark.parametrize(
+        "addr,expected",
+        [
+            ("::", "::"),
+            ("::1", "::1"),
+            ("fe80::1", "fe80::1"),
+            ("ff02::fb", "ff02::fb"),
+            ("2001:db8:0:0:0:0:0:1", "2001:db8::1"),
+        ],
+    )
+    def test_compression(self, addr, expected):
+        assert ipv6_to_str(ipv6_to_bytes(addr)) == expected
+
+    @pytest.mark.parametrize("bad", ["", ":::", "1:2:3:4:5:6:7", "g::1", "1::2::3"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(EncodeError):
+            ipv6_to_bytes(bad)
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_bytes_roundtrip(self, raw):
+        assert ipv6_to_bytes(ipv6_to_str(raw)) == raw
+
+    def test_no_compression_for_single_zero_group(self):
+        # A lone zero group is written out, not compressed.
+        raw = ipv6_to_bytes("1:0:2:3:4:5:6:7")
+        assert ipv6_to_str(raw) == "1:0:2:3:4:5:6:7"
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example data
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        total = inet_checksum(data)
+        # Verifying: sum of data plus checksum folds to 0xFFFF.
+        words = [int.from_bytes(data[i : i + 2], "big") for i in range(0, len(data), 2)]
+        s = sum(words) + total
+        while s >> 16:
+            s = (s & 0xFFFF) + (s >> 16)
+        assert s == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert inet_checksum(b"\x01") == inet_checksum(b"\x01\x00")
+
+    def test_zero_data(self):
+        assert inet_checksum(b"\x00\x00") == 0xFFFF
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_result_is_16_bit(self, data):
+        assert 0 <= inet_checksum(data) <= 0xFFFF
+
+
+class TestRequire:
+    def test_passes_when_enough(self):
+        require(b"abcd", 4, "thing")
+
+    def test_raises_when_short(self):
+        with pytest.raises(DecodeError, match="truncated thing"):
+            require(b"abc", 4, "thing")

@@ -1,0 +1,223 @@
+"""Full-stack decoding: every builder recipe maps to the right feature facts."""
+
+import pytest
+
+from repro.packets import builder, decode
+
+MAC = "aa:bb:cc:dd:ee:01"
+GW = "02:00:00:00:00:01"
+IP = "192.168.1.50"
+
+
+def flags_of(packet):
+    return {
+        name
+        for name in (
+            "is_arp", "is_llc", "is_ip", "is_icmp", "is_icmpv6", "is_eapol",
+            "is_tcp", "is_udp", "is_http", "is_https", "is_dhcp", "is_bootp",
+            "is_ssdp", "is_dns", "is_mdns", "is_ntp",
+        )
+        if getattr(packet, name)
+    }
+
+
+class TestProtocolFlags:
+    def test_arp(self):
+        assert flags_of(decode(builder.arp_probe_frame(MAC, IP))) == {"is_arp"}
+
+    def test_llc(self):
+        assert flags_of(decode(builder.llc_frame(MAC))) == {"is_llc"}
+
+    def test_eapol(self):
+        assert flags_of(decode(builder.eapol_frame(MAC, GW, 2))) == {"is_eapol"}
+
+    def test_dhcp_sets_bootp_too(self):
+        packet = decode(builder.dhcp_discover_frame(MAC, 1, "dev"))
+        assert flags_of(packet) == {"is_ip", "is_udp", "is_dhcp", "is_bootp"}
+
+    def test_plain_bootp_not_dhcp(self):
+        packet = decode(builder.bootp_request_frame(MAC, 1))
+        assert flags_of(packet) == {"is_ip", "is_udp", "is_bootp"}
+
+    def test_dns(self):
+        packet = decode(builder.dns_query_frame(MAC, GW, IP, "192.168.1.1", "x.example"))
+        assert flags_of(packet) == {"is_ip", "is_udp", "is_dns"}
+
+    def test_mdns(self):
+        packet = decode(builder.mdns_query_frame(MAC, IP, "_hue._tcp.local"))
+        assert flags_of(packet) == {"is_ip", "is_udp", "is_mdns"}
+
+    def test_ssdp(self):
+        packet = decode(builder.ssdp_msearch_frame(MAC, IP))
+        assert flags_of(packet) == {"is_ip", "is_udp", "is_ssdp"}
+
+    def test_ntp(self):
+        packet = decode(builder.ntp_request_frame(MAC, GW, IP, "17.253.1.1"))
+        assert flags_of(packet) == {"is_ip", "is_udp", "is_ntp"}
+
+    def test_http(self):
+        packet = decode(builder.http_get_frame(MAC, GW, IP, "52.1.1.1", "api.example.com"))
+        assert flags_of(packet) == {"is_ip", "is_tcp", "is_http"}
+
+    def test_https(self):
+        packet = decode(builder.https_client_hello_frame(MAC, GW, IP, "52.1.1.1", "c.example"))
+        assert flags_of(packet) == {"is_ip", "is_tcp", "is_https"}
+
+    def test_icmp_echo(self):
+        packet = decode(builder.icmp_echo_request_frame(MAC, GW, IP, "192.168.1.1", 1, 1))
+        assert flags_of(packet) == {"is_ip", "is_icmp"}
+
+    def test_icmpv6(self):
+        packet = decode(builder.icmpv6_router_solicit_frame(MAC, "fe80::1"))
+        assert flags_of(packet) == {"is_ip", "is_icmpv6"}
+
+    def test_tcp_raw(self):
+        packet = decode(builder.tcp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 8883, b"x" * 30))
+        assert flags_of(packet) == {"is_ip", "is_tcp"}
+        assert packet.has_raw_data
+
+    def test_udp_raw(self):
+        packet = decode(builder.udp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 9999, b"x" * 30))
+        assert flags_of(packet) == {"is_ip", "is_udp"}
+        assert packet.has_raw_data
+
+
+class TestIPOptions:
+    def test_igmp_router_alert(self):
+        packet = decode(builder.igmp_join_frame(MAC, IP, "239.255.255.250"))
+        assert packet.ip_option_router_alert
+        assert packet.is_ip
+
+    def test_mld_router_alert_via_hop_by_hop(self):
+        packet = decode(builder.mldv2_report_frame(MAC, "fe80::1"))
+        assert packet.ip_option_router_alert
+        assert packet.is_icmpv6
+
+    def test_plain_packet_has_no_options(self):
+        packet = decode(builder.dns_query_frame(MAC, GW, IP, "192.168.1.1", "x.example"))
+        assert not packet.ip_option_router_alert
+        assert not packet.ip_option_padding
+
+
+class TestAddressing:
+    def test_macs_extracted(self):
+        packet = decode(builder.dhcp_discover_frame(MAC, 1))
+        assert packet.src_mac == MAC
+        assert packet.dst_mac == "ff:ff:ff:ff:ff:ff"
+
+    def test_ips_extracted(self):
+        packet = decode(builder.http_get_frame(MAC, GW, IP, "52.9.9.9", "h.example"))
+        assert packet.src_ip == IP
+        assert packet.dst_ip == "52.9.9.9"
+
+    def test_ports_extracted(self):
+        packet = decode(
+            builder.tcp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 8883, b"data")
+        )
+        assert packet.src_port == 50000
+        assert packet.dst_port == 8883
+
+    def test_arp_has_no_ip_fields(self):
+        packet = decode(builder.arp_probe_frame(MAC, IP))
+        assert packet.dst_ip is None
+        assert packet.src_port is None
+
+    def test_size_is_frame_length(self):
+        frame = builder.ntp_request_frame(MAC, GW, IP, "17.253.1.1")
+        assert decode(frame).size == len(frame)
+
+
+class TestRawDataSemantics:
+    def test_http_without_body_not_raw(self):
+        packet = decode(builder.http_get_frame(MAC, GW, IP, "52.1.1.1", "h.example"))
+        assert not packet.has_raw_data
+
+    def test_http_with_body_is_raw(self):
+        packet = decode(
+            builder.http_post_frame(MAC, GW, IP, "52.1.1.1", "h.example", "/api", b"body")
+        )
+        assert packet.is_http
+        assert packet.has_raw_data
+
+    def test_tls_payload_is_raw(self):
+        packet = decode(builder.https_client_hello_frame(MAC, GW, IP, "52.1.1.1", "c.example"))
+        assert packet.has_raw_data
+
+    def test_structured_protocols_not_raw(self):
+        for frame in (
+            builder.dhcp_discover_frame(MAC, 1),
+            builder.dns_query_frame(MAC, GW, IP, "192.168.1.1", "x.example"),
+            builder.ntp_request_frame(MAC, GW, IP, "17.253.1.1"),
+            builder.ssdp_msearch_frame(MAC, IP),
+        ):
+            assert not decode(frame).has_raw_data
+
+
+class TestRobustness:
+    def test_truncated_inner_layer_degrades_gracefully(self):
+        frame = builder.dhcp_discover_frame(MAC, 1)
+        mangled = frame[:20]  # ethernet header + a few IP bytes
+        packet = decode(mangled)
+        assert packet.src_mac == MAC
+        assert packet.has_raw_data
+
+    def test_unknown_ethertype(self):
+        from repro.packets.ethernet import ethernet
+
+        packet = decode(ethernet(GW, MAC, 0x9000, b"loopback test"))
+        assert flags_of(packet) == set()
+        assert packet.has_raw_data
+
+    def test_unknown_ip_protocol(self):
+        from repro.packets.ethernet import ETHERTYPE_IPV4, ethernet
+        from repro.packets.ipv4 import IPv4Header
+
+        inner = IPv4Header(src=IP, dst="192.168.1.1", proto=47).pack(b"gre?")
+        packet = decode(ethernet(GW, MAC, ETHERTYPE_IPV4, inner))
+        assert packet.is_ip
+        assert not packet.is_tcp and not packet.is_udp
+        assert packet.has_raw_data
+
+    def test_ipv6_tcp_classified(self):
+        from repro.packets.ethernet import ETHERTYPE_IPV6, ethernet
+        from repro.packets.ipv6 import IPv6Header
+        from repro.packets.tcp import TCPSegment
+
+        segment = TCPSegment(src_port=50001, dst_port=443, payload=b"\x16\x03\x01\x00\x05hello")
+        inner = IPv6Header(src="2001:db8::1", dst="2001:db8::2", next_header=6).pack(
+            segment.pack()
+        )
+        packet = decode(ethernet(GW, MAC, ETHERTYPE_IPV6, inner))
+        assert packet.is_ip and packet.is_tcp and packet.is_https
+        assert packet.src_ip == "2001:db8::1"
+        assert packet.dst_port == 443
+
+    def test_ipv6_udp_dns_classified(self):
+        from repro.packets import dns
+        from repro.packets.ethernet import ETHERTYPE_IPV6, ethernet
+        from repro.packets.ipv6 import IPv6Header
+        from repro.packets.udp import UDPDatagram
+
+        datagram = UDPDatagram(src_port=50002, dst_port=53, payload=dns.query("x.example").pack())
+        inner = IPv6Header(src="2001:db8::1", dst="2001:db8::53", next_header=17).pack(
+            datagram.pack()
+        )
+        packet = decode(ethernet(GW, MAC, ETHERTYPE_IPV6, inner))
+        assert packet.is_udp and packet.is_dns
+        assert packet.dst_ip == "2001:db8::53"
+
+    def test_ipv6_unknown_next_header(self):
+        from repro.packets.ethernet import ETHERTYPE_IPV6, ethernet
+        from repro.packets.ipv6 import IPv6Header
+
+        inner = IPv6Header(src="::1", dst="::2", next_header=132).pack(b"sctp?")
+        packet = decode(ethernet(GW, MAC, ETHERTYPE_IPV6, inner))
+        assert packet.is_ip and packet.has_raw_data
+
+    def test_layer_accessor(self):
+        from repro.packets.dhcp import DHCPMessage
+
+        packet = decode(builder.dhcp_discover_frame(MAC, 77))
+        message = packet.layer(DHCPMessage)
+        assert message is not None and message.xid == 77
+        assert packet.layer(bytes) is None

@@ -1,0 +1,205 @@
+"""IPv4 / IPv6 / ICMP / TCP / UDP header tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.base import DecodeError, EncodeError, inet_checksum
+from repro.packets.icmp import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMPMessage,
+    ICMPv6Message,
+    echo_reply,
+    echo_request,
+    mldv2_report,
+    neighbor_solicitation,
+    router_solicitation,
+)
+from repro.packets.ipv4 import (
+    OPTION_NOP,
+    OPTION_ROUTER_ALERT,
+    IPv4Header,
+    IPv4Option,
+    router_alert_option,
+)
+from repro.packets.ipv6 import HopByHopOptions, IPv6Header
+from repro.packets.tcp import FLAG_ACK, FLAG_PSH, FLAG_SYN, TCPSegment, mss_option
+from repro.packets.udp import UDPDatagram
+
+
+class TestIPv4:
+    def test_roundtrip_plain(self):
+        header = IPv4Header(src="10.0.0.1", dst="10.0.0.2", proto=17)
+        parsed, payload = IPv4Header.unpack(header.pack(b"xyz"))
+        assert parsed.src == "10.0.0.1"
+        assert parsed.dst == "10.0.0.2"
+        assert parsed.proto == 17
+        assert payload == b"xyz"
+
+    def test_checksum_valid(self):
+        raw = IPv4Header(src="10.0.0.1", dst="10.0.0.2", proto=6).pack()
+        assert inet_checksum(raw[:20]) == 0
+
+    def test_router_alert_option_roundtrip(self):
+        header = IPv4Header(
+            src="10.0.0.1", dst="224.0.0.1", proto=2, options=(router_alert_option(),)
+        )
+        parsed, _ = IPv4Header.unpack(header.pack())
+        assert parsed.has_router_alert
+
+    def test_padding_option_roundtrip(self):
+        header = IPv4Header(
+            src="10.0.0.1", dst="10.0.0.2", proto=6, options=(IPv4Option(OPTION_NOP),)
+        )
+        parsed, _ = IPv4Header.unpack(header.pack())
+        assert parsed.has_padding_option
+
+    def test_header_length_with_options(self):
+        header = IPv4Header(
+            src="10.0.0.1", dst="10.0.0.2", proto=6, options=(router_alert_option(),)
+        )
+        assert header.header_length() == 24
+
+    def test_options_too_long(self):
+        options = tuple(IPv4Option(OPTION_ROUTER_ALERT, b"\x00" * 8) for _ in range(5))
+        with pytest.raises(EncodeError):
+            IPv4Header(src="1.1.1.1", dst="2.2.2.2", proto=6, options=options).pack()
+
+    def test_not_ipv4_version(self):
+        raw = bytearray(IPv4Header(src="1.1.1.1", dst="2.2.2.2", proto=6).pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(DecodeError, match="not IPv4"):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            IPv4Header.unpack(b"\x45" + b"\x00" * 10)
+
+    @given(st.binary(max_size=200))
+    def test_payload_roundtrip(self, payload):
+        header = IPv4Header(src="10.0.0.1", dst="10.0.0.2", proto=17)
+        _, parsed_payload = IPv4Header.unpack(header.pack(payload))
+        assert parsed_payload == payload
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        header = IPv6Header(src="fe80::1", dst="ff02::2", next_header=58, hop_limit=255)
+        parsed, payload = IPv6Header.unpack(header.pack(b"icmp"))
+        assert parsed.src == "fe80::1"
+        assert parsed.dst == "ff02::2"
+        assert parsed.next_header == 58
+        assert payload == b"icmp"
+
+    def test_hop_by_hop_router_alert(self):
+        hbh = HopByHopOptions(router_alert=True, next_header=58)
+        parsed, rest = HopByHopOptions.unpack(hbh.pack(b"inner"))
+        assert parsed.router_alert
+        assert parsed.next_header == 58
+        assert rest == b"inner"
+
+    def test_hop_by_hop_without_alert(self):
+        hbh = HopByHopOptions(router_alert=False, next_header=6)
+        parsed, _ = HopByHopOptions.unpack(hbh.pack())
+        assert not parsed.router_alert
+
+    def test_version_check(self):
+        raw = bytearray(IPv6Header(src="::1", dst="::2", next_header=6).pack())
+        raw[0] = 0x45
+        with pytest.raises(DecodeError, match="not IPv6"):
+            IPv6Header.unpack(bytes(raw))
+
+
+class TestICMP:
+    def test_echo_roundtrip(self):
+        message = echo_request(ident=7, seq=3, payload=b"ping")
+        parsed, _ = ICMPMessage.unpack(message.pack())
+        assert parsed.icmp_type == ICMP_ECHO_REQUEST
+        assert parsed.is_echo
+        assert parsed.body[4:] == b"ping"
+
+    def test_echo_reply(self):
+        assert echo_reply(1, 1).icmp_type == ICMP_ECHO_REPLY
+
+    def test_checksum_valid(self):
+        raw = echo_request(1, 1, b"x" * 10).pack()
+        assert inet_checksum(raw) == 0
+
+    def test_icmpv6_checksum_uses_pseudo_header(self):
+        message = router_solicitation()
+        packed_a = message.pack("fe80::1", "ff02::2")
+        packed_b = message.pack("fe80::2", "ff02::2")
+        assert packed_a[2:4] != packed_b[2:4]  # checksum differs with src
+
+    def test_neighbor_solicitation_target_length(self):
+        with pytest.raises(ValueError):
+            neighbor_solicitation(b"\x00" * 8)
+
+    def test_mldv2_report_type(self):
+        parsed, _ = ICMPv6Message.unpack(mldv2_report().pack("fe80::1", "ff02::16"))
+        assert parsed.icmp_type == 143
+
+
+class TestTCP:
+    def test_roundtrip(self):
+        segment = TCPSegment(
+            src_port=49152, dst_port=443, seq=100, ack=5, flags=FLAG_PSH | FLAG_ACK,
+            payload=b"data",
+        )
+        parsed, _ = TCPSegment.unpack(segment.pack("1.1.1.1", "2.2.2.2"))
+        assert parsed.src_port == 49152
+        assert parsed.dst_port == 443
+        assert parsed.payload == b"data"
+        assert parsed.has_payload
+
+    def test_syn_with_mss(self):
+        segment = TCPSegment(src_port=1024, dst_port=80, flags=FLAG_SYN, options=mss_option())
+        parsed, _ = TCPSegment.unpack(segment.pack())
+        assert parsed.is_syn
+        assert parsed.options[:4] == mss_option()
+
+    def test_syn_ack_is_not_plain_syn(self):
+        segment = TCPSegment(src_port=80, dst_port=1024, flags=FLAG_SYN | FLAG_ACK)
+        assert not segment.is_syn
+
+    def test_invalid_port(self):
+        with pytest.raises(EncodeError):
+            TCPSegment(src_port=70000, dst_port=80).pack()
+
+    def test_bad_data_offset(self):
+        raw = bytearray(TCPSegment(src_port=1, dst_port=2).pack())
+        raw[12] = 0x10  # data offset 1 word (< 5)
+        with pytest.raises(DecodeError):
+            TCPSegment.unpack(bytes(raw))
+
+    @given(st.binary(max_size=256))
+    def test_payload_roundtrip(self, payload):
+        segment = TCPSegment(src_port=5, dst_port=6, payload=payload)
+        parsed, _ = TCPSegment.unpack(segment.pack())
+        assert parsed.payload == payload
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        datagram = UDPDatagram(src_port=68, dst_port=67, payload=b"dhcp")
+        parsed, rest = UDPDatagram.unpack(datagram.pack())
+        assert parsed.src_port == 68
+        assert parsed.dst_port == 67
+        assert parsed.payload == b"dhcp"
+        assert rest == b""
+
+    def test_length_validation(self):
+        raw = bytearray(UDPDatagram(src_port=1, dst_port=2, payload=b"abc").pack())
+        raw[4:6] = (200).to_bytes(2, "big")
+        with pytest.raises(DecodeError):
+            UDPDatagram.unpack(bytes(raw))
+
+    def test_invalid_port(self):
+        with pytest.raises(EncodeError):
+            UDPDatagram(src_port=-1, dst_port=53).pack()
+
+    def test_checksum_never_zero(self):
+        # RFC 768: transmitted checksum 0 means "no checksum"; ours never is.
+        raw = UDPDatagram(src_port=0, dst_port=0, payload=b"").pack("0.0.0.0", "0.0.0.0")
+        assert raw[6:8] != b"\x00\x00"

@@ -1,0 +1,148 @@
+"""Ethernet / LLC / ARP / EAPoL header tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.arp import ARPPacket, OP_REPLY, OP_REQUEST, arp_announce, arp_probe
+from repro.packets.base import DecodeError, EncodeError
+from repro.packets.eapol import EAPOLFrame, TYPE_KEY, TYPE_START, eapol_key_frame
+from repro.packets.ethernet import (
+    ETHERTYPE_IPV4,
+    LLC_THRESHOLD,
+    EthernetFrame,
+    ethernet,
+    ethernet_llc,
+)
+from repro.packets.llc import CONTROL_UI, SAP_SNAP, LLCHeader
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(dst="ff:ff:ff:ff:ff:ff", src="aa:bb:cc:dd:ee:ff", ethertype=0x0800)
+        parsed, payload = EthernetFrame.unpack(frame.pack(b"data"))
+        assert parsed == frame
+        assert payload == b"data"
+
+    def test_is_llc_threshold(self):
+        zero = "00:00:00:00:00:00"
+        assert EthernetFrame(dst=zero, src=zero, ethertype=LLC_THRESHOLD - 1).is_llc
+        assert EthernetFrame(dst=zero, src=zero, ethertype=100).is_llc
+        assert not EthernetFrame(dst=zero, src=zero, ethertype=LLC_THRESHOLD).is_llc
+        assert not EthernetFrame(dst=zero, src=zero, ethertype=ETHERTYPE_IPV4).is_llc
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            EthernetFrame.unpack(b"\x00" * 13)
+
+    def test_invalid_ethertype(self):
+        with pytest.raises(EncodeError):
+            EthernetFrame(dst="00:00:00:00:00:00", src="00:00:00:00:00:00", ethertype=-1).pack()
+
+    def test_llc_frame_length_field(self):
+        raw = ethernet_llc("ff:ff:ff:ff:ff:ff", "aa:bb:cc:dd:ee:01", b"\xaa\xaa\x03hi")
+        parsed, payload = EthernetFrame.unpack(raw)
+        assert parsed.is_llc
+        assert parsed.ethertype == 5  # the payload length
+        assert payload == b"\xaa\xaa\x03hi"
+
+    def test_llc_payload_too_large(self):
+        with pytest.raises(EncodeError):
+            ethernet_llc("ff:ff:ff:ff:ff:ff", "aa:bb:cc:dd:ee:01", b"x" * 0x600)
+
+    @given(st.binary(max_size=100))
+    def test_payload_preserved(self, payload):
+        raw = ethernet("ff:ff:ff:ff:ff:ff", "aa:bb:cc:dd:ee:01", 0x0800, payload)
+        _, parsed_payload = EthernetFrame.unpack(raw)
+        assert parsed_payload == payload
+
+
+class TestLLC:
+    def test_roundtrip(self):
+        header = LLCHeader(dsap=SAP_SNAP, ssap=SAP_SNAP, control=CONTROL_UI)
+        parsed, rest = LLCHeader.unpack(header.pack(b"payload"))
+        assert parsed == header
+        assert rest == b"payload"
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            LLCHeader.unpack(b"\xaa\xaa")
+
+
+class TestARP:
+    def test_request_roundtrip(self):
+        packet = ARPPacket(
+            op=OP_REQUEST,
+            sender_mac="aa:bb:cc:dd:ee:01",
+            sender_ip="192.168.1.5",
+            target_ip="192.168.1.1",
+        )
+        parsed, rest = ARPPacket.unpack(packet.pack())
+        assert parsed == packet
+        assert rest == b""
+
+    def test_reply(self):
+        packet = ARPPacket(
+            op=OP_REPLY,
+            sender_mac="aa:bb:cc:dd:ee:01",
+            sender_ip="192.168.1.5",
+            target_mac="02:00:00:00:00:01",
+            target_ip="192.168.1.1",
+        )
+        assert not packet.is_request
+
+    def test_probe_has_zero_sender_ip(self):
+        probe = arp_probe("aa:bb:cc:dd:ee:01", "192.168.1.77")
+        assert probe.sender_ip == "0.0.0.0"
+        assert probe.is_request
+        assert not probe.is_gratuitous
+
+    def test_announce_is_gratuitous(self):
+        announce = arp_announce("aa:bb:cc:dd:ee:01", "192.168.1.77")
+        assert announce.is_gratuitous
+
+    def test_unsupported_hardware_type(self):
+        raw = bytearray(arp_probe("aa:bb:cc:dd:ee:01", "1.2.3.4").pack())
+        raw[0:2] = b"\x00\x06"  # IEEE 802 hardware type
+        with pytest.raises(DecodeError):
+            ARPPacket.unpack(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            ARPPacket.unpack(b"\x00" * 10)
+
+
+class TestEAPOL:
+    def test_roundtrip(self):
+        frame = EAPOLFrame(ptype=TYPE_KEY, body=b"\x02\x01\x0a" + b"\x00" * 10)
+        parsed, rest = EAPOLFrame.unpack(frame.pack())
+        assert parsed == frame
+        assert rest == b""
+        assert parsed.is_key
+
+    def test_start_frame_not_key(self):
+        frame = EAPOLFrame(ptype=TYPE_START, body=b"")
+        parsed, _ = EAPOLFrame.unpack(frame.pack())
+        assert not parsed.is_key
+
+    @pytest.mark.parametrize("index", [1, 2, 3, 4])
+    def test_handshake_messages(self, index):
+        frame = eapol_key_frame(index)
+        parsed, _ = EAPOLFrame.unpack(frame.pack())
+        assert parsed.is_key
+        assert len(parsed.body) == 95
+
+    def test_invalid_handshake_index(self):
+        with pytest.raises(ValueError):
+            eapol_key_frame(5)
+
+    def test_trailing_data_after_body(self):
+        frame = eapol_key_frame(1)
+        raw = frame.pack() + b"padding"
+        _, rest = EAPOLFrame.unpack(raw)
+        assert rest == b"padding"
+
+    def test_truncated_body(self):
+        raw = EAPOLFrame(ptype=TYPE_KEY, body=b"abc").pack()[:-1]
+        with pytest.raises(DecodeError):
+            EAPOLFrame.unpack(raw)

@@ -1,0 +1,101 @@
+"""pcap file format round-trips and error handling."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import CaptureRecord, DecodeError, PcapFile, read_pcap, write_pcap
+
+
+def _roundtrip(records, **kwargs):
+    buf = io.BytesIO()
+    write_pcap(buf, records, **kwargs)
+    buf.seek(0)
+    return read_pcap(buf)
+
+
+class TestRoundtrip:
+    def test_empty_capture(self):
+        capture = _roundtrip([])
+        assert len(capture) == 0
+        assert capture.linktype == 1
+
+    def test_records_preserved(self):
+        records = [CaptureRecord(1.5, b"aaa"), CaptureRecord(2.25, b"bbbb")]
+        capture = _roundtrip(records)
+        assert [r.data for r in capture] == [b"aaa", b"bbbb"]
+        assert capture.records[0].timestamp == pytest.approx(1.5, abs=1e-6)
+        assert capture.records[1].timestamp == pytest.approx(2.25, abs=1e-6)
+
+    def test_nanosecond_precision(self):
+        record = CaptureRecord(3.000000123, b"x")
+        capture = _roundtrip([record], nanosecond=True)
+        assert capture.nanosecond
+        assert capture.records[0].timestamp == pytest.approx(3.000000123, abs=1e-9)
+
+    def test_orig_len_defaults_to_data_length(self):
+        assert CaptureRecord(0.0, b"12345").orig_len == 5
+
+    def test_orig_len_explicit(self):
+        capture = _roundtrip([CaptureRecord(0.0, b"123", orig_len=1500)])
+        assert capture.records[0].orig_len == 1500
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=2**31, allow_nan=False),
+                st.binary(min_size=0, max_size=128),
+            ),
+            max_size=10,
+        )
+    )
+    def test_data_always_preserved(self, specs):
+        records = [CaptureRecord(t, d) for t, d in specs]
+        capture = _roundtrip(records)
+        assert [r.data for r in capture] == [d for _, d in specs]
+
+
+class TestByteOrders:
+    def test_big_endian_magic_readable(self):
+        buf = io.BytesIO()
+        buf.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+        buf.write(struct.pack(">IIII", 10, 500, 3, 3) + b"abc")
+        buf.seek(0)
+        capture = read_pcap(buf)
+        assert capture.records[0].data == b"abc"
+        assert capture.records[0].timestamp == pytest.approx(10.0005)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(DecodeError, match="magic"):
+            read_pcap(io.BytesIO(b"\x00\x01\x02\x03" + b"\x00" * 20))
+
+    def test_truncated_header(self):
+        with pytest.raises(DecodeError):
+            read_pcap(io.BytesIO(b"\xd4\xc3\xb2\xa1\x02\x00"))
+
+    def test_truncated_record_body(self):
+        buf = io.BytesIO()
+        write_pcap(buf, [CaptureRecord(0.0, b"abcdef")])
+        data = buf.getvalue()[:-3]  # chop the last record bytes
+        with pytest.raises(DecodeError):
+            read_pcap(io.BytesIO(data))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, [CaptureRecord(7.0, b"frame")])
+        capture = read_pcap(path)
+        assert capture.records[0].data == b"frame"
+
+
+class TestPcapFile:
+    def test_append_and_iter(self):
+        capture = PcapFile()
+        capture.append(CaptureRecord(0.0, b"a"))
+        capture.append(CaptureRecord(1.0, b"b"))
+        assert [r.data for r in capture] == [b"a", b"b"]
+        assert len(capture) == 2

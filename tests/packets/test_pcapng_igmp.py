@@ -1,0 +1,139 @@
+"""pcapng reading and IGMP message tests."""
+
+import io
+import struct
+
+import pytest
+
+from repro.packets import (
+    CaptureRecord,
+    DecodeError,
+    decode,
+    read_capture,
+    read_pcapng,
+    write_pcap,
+)
+from repro.packets import builder
+from repro.packets.igmp import (
+    IGMPv2Message,
+    IGMPv3Report,
+    TYPE_V2_LEAVE,
+    TYPE_V2_REPORT,
+    v2_leave,
+    v2_report,
+)
+from repro.packets.pcapng import BLOCK_EPB, BLOCK_IDB, BLOCK_SHB, BYTE_ORDER_MAGIC
+
+
+def _block(block_type: int, body: bytes, prefix: str = "<") -> bytes:
+    if len(body) % 4:
+        body += bytes(4 - len(body) % 4)
+    total = 12 + len(body)
+    return struct.pack(prefix + "II", block_type, total) + body + struct.pack(prefix + "I", total)
+
+
+def _shb(prefix: str = "<") -> bytes:
+    body = struct.pack(prefix + "IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+    return _block(BLOCK_SHB, body, prefix)
+
+
+def _idb(prefix: str = "<", linktype: int = 1, snaplen: int = 65535) -> bytes:
+    return _block(BLOCK_IDB, struct.pack(prefix + "HHI", linktype, 0, snaplen), prefix)
+
+
+def _epb(data: bytes, ts_us: int, prefix: str = "<") -> bytes:
+    body = struct.pack(
+        prefix + "IIIII", 0, ts_us >> 32, ts_us & 0xFFFFFFFF, len(data), len(data)
+    ) + data
+    return _block(BLOCK_EPB, body, prefix)
+
+
+class TestPcapng:
+    def test_minimal_capture(self):
+        frame = builder.arp_probe_frame("aa:bb:cc:dd:ee:01", "192.168.1.5")
+        raw = _shb() + _idb() + _epb(frame, ts_us=5_000_000)
+        capture = read_pcapng(io.BytesIO(raw))
+        assert len(capture) == 1
+        assert capture.records[0].data == frame
+        assert capture.records[0].timestamp == pytest.approx(5.0)
+        assert capture.linktype == 1
+
+    def test_multiple_packets(self):
+        f1 = builder.arp_probe_frame("aa:bb:cc:dd:ee:01", "192.168.1.5")
+        f2 = builder.dhcp_discover_frame("aa:bb:cc:dd:ee:01", 7)
+        raw = _shb() + _idb() + _epb(f1, 1_000_000) + _epb(f2, 2_000_000)
+        capture = read_pcapng(io.BytesIO(raw))
+        assert [r.data for r in capture] == [f1, f2]
+
+    def test_big_endian_section(self):
+        frame = b"\x01\x02\x03\x04"
+        raw = _shb(">") + _idb(">") + _epb(frame, 1_000_000, ">")
+        capture = read_pcapng(io.BytesIO(raw))
+        assert capture.records[0].data == frame
+
+    def test_unknown_blocks_skipped(self):
+        frame = b"\xaa" * 8
+        name_resolution = _block(0x00000004, b"\x00" * 8)
+        raw = _shb() + _idb() + name_resolution + _epb(frame, 0)
+        capture = read_pcapng(io.BytesIO(raw))
+        assert len(capture) == 1
+
+    def test_missing_shb_rejected(self):
+        raw = _idb() + _epb(b"x", 0)
+        with pytest.raises(DecodeError):
+            read_pcapng(io.BytesIO(raw))
+
+    def test_truncated_block_rejected(self):
+        raw = _shb() + _idb()[:-2]
+        with pytest.raises(DecodeError):
+            read_pcapng(io.BytesIO(raw))
+
+    def test_read_capture_dispatches_both_formats(self, tmp_path):
+        frame = builder.arp_probe_frame("aa:bb:cc:dd:ee:01", "192.168.1.5")
+        pcap_path = tmp_path / "classic.pcap"
+        write_pcap(pcap_path, [CaptureRecord(1.0, frame)])
+        ng_path = tmp_path / "modern.pcapng"
+        ng_path.write_bytes(_shb() + _idb() + _epb(frame, 1_000_000))
+        assert read_capture(pcap_path).records[0].data == frame
+        assert read_capture(ng_path).records[0].data == frame
+
+
+class TestIGMP:
+    def test_v2_report_roundtrip(self):
+        message = v2_report("239.255.255.250")
+        parsed, rest = IGMPv2Message.unpack(message.pack())
+        assert parsed.igmp_type == TYPE_V2_REPORT
+        assert parsed.group == "239.255.255.250"
+        assert rest == b""
+
+    def test_v2_leave(self):
+        assert v2_leave("224.0.1.1").igmp_type == TYPE_V2_LEAVE
+
+    def test_v3_report_roundtrip(self):
+        report = IGMPv3Report(groups=("239.255.255.250", "224.0.0.251"))
+        parsed, _ = IGMPv3Report.unpack(report.pack())
+        assert parsed.groups == ("239.255.255.250", "224.0.0.251")
+
+    def test_v3_unpack_rejects_v2(self):
+        with pytest.raises(DecodeError):
+            IGMPv3Report.unpack(v2_report("224.0.0.1").pack())
+
+    def test_join_frame_decodes_with_router_alert(self):
+        packet = decode(builder.igmp_join_frame("aa:bb:cc:dd:ee:01", "192.168.1.5", "239.255.255.250"))
+        assert packet.ip_option_router_alert
+        igmp = packet.layer(IGMPv2Message)
+        assert igmp is not None and igmp.group == "239.255.255.250"
+
+    def test_leave_frame(self):
+        packet = decode(builder.igmp_leave_frame("aa:bb:cc:dd:ee:01", "192.168.1.5", "239.255.255.250"))
+        igmp = packet.layer(IGMPv2Message)
+        assert igmp.igmp_type == TYPE_V2_LEAVE
+
+    def test_v3_frame(self):
+        packet = decode(
+            builder.igmpv3_report_frame(
+                "aa:bb:cc:dd:ee:01", "192.168.1.5", ("239.255.255.250",)
+            )
+        )
+        report = packet.layer(IGMPv3Report)
+        assert report is not None and report.groups == ("239.255.255.250",)

@@ -1,0 +1,112 @@
+"""OpenFlow match/action primitives and flow-table semantics."""
+
+import pytest
+
+from repro.packets import builder, decode
+from repro.sdn import Action, ActionType, FlowMatch, FlowRule, FlowTable
+
+MAC = "aa:bb:cc:dd:ee:01"
+GW = "02:00:00:00:00:01"
+IP = "192.168.1.50"
+
+
+def sample_packet():
+    return decode(builder.tcp_raw_frame(MAC, GW, IP, "52.1.1.1", 50000, 443, b"x"))
+
+
+class TestFlowMatch:
+    def test_wildcard_matches_everything(self):
+        assert FlowMatch().matches(sample_packet(), in_port=3)
+
+    def test_eth_src_match(self):
+        packet = sample_packet()
+        assert FlowMatch(eth_src=MAC).matches(packet, 1)
+        assert not FlowMatch(eth_src="00:00:00:00:00:99").matches(packet, 1)
+
+    def test_in_port_match(self):
+        packet = sample_packet()
+        assert FlowMatch(in_port=4).matches(packet, 4)
+        assert not FlowMatch(in_port=4).matches(packet, 5)
+
+    def test_l3_l4_match(self):
+        packet = sample_packet()
+        assert FlowMatch(ip_dst="52.1.1.1", tp_dst=443, is_tcp=True).matches(packet, 1)
+        assert not FlowMatch(ip_dst="52.1.1.2").matches(packet, 1)
+        assert not FlowMatch(tp_dst=80).matches(packet, 1)
+        assert not FlowMatch(is_udp=True).matches(packet, 1)
+
+    def test_ip_src_match(self):
+        packet = sample_packet()
+        assert FlowMatch(ip_src=IP).matches(packet, 1)
+        assert not FlowMatch(ip_src="10.0.0.1").matches(packet, 1)
+
+    def test_specificity(self):
+        assert FlowMatch().specificity() == 0
+        assert FlowMatch(eth_src=MAC, ip_dst="1.2.3.4").specificity() == 2
+
+
+class TestActions:
+    def test_constructors(self):
+        assert Action.output(3).port == 3
+        assert Action.drop().type is ActionType.DROP
+        assert Action.flood().type is ActionType.FLOOD
+        assert Action.controller().type is ActionType.CONTROLLER
+
+    def test_rule_drops_property(self):
+        rule = FlowRule(match=FlowMatch(), actions=(Action.drop(),))
+        assert rule.drops
+        rule2 = FlowRule(match=FlowMatch(), actions=(Action.output(1),))
+        assert not rule2.drops
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable()
+        low = FlowRule(match=FlowMatch(), actions=(Action.flood(),), priority=1)
+        high = FlowRule(match=FlowMatch(eth_src=MAC), actions=(Action.drop(),), priority=100)
+        table.add(low)
+        table.add(high)
+        assert table.lookup(sample_packet(), 1) is high
+
+    def test_specificity_breaks_priority_ties(self):
+        table = FlowTable()
+        generic = FlowRule(match=FlowMatch(), actions=(Action.flood(),), priority=10)
+        specific = FlowRule(match=FlowMatch(eth_src=MAC), actions=(Action.drop(),), priority=10)
+        table.add(generic)
+        table.add(specific)
+        assert table.lookup(sample_packet(), 1) is specific
+
+    def test_no_match_returns_none(self):
+        table = FlowTable()
+        table.add(FlowRule(match=FlowMatch(eth_src="00:00:00:00:00:09"), actions=(Action.drop(),)))
+        assert table.lookup(sample_packet(), 1) is None
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        for cookie in (1, 1, 2):
+            table.add(FlowRule(match=FlowMatch(), actions=(Action.flood(),), cookie=cookie))
+        assert table.remove_by_cookie(1) == 2
+        assert len(table) == 1
+
+    def test_idle_expiry(self):
+        table = FlowTable()
+        rule = FlowRule(match=FlowMatch(), actions=(Action.flood(),), idle_timeout=10.0)
+        table.add(rule)
+        rule.record_hit(100, now=0.0)
+        assert table.expire_idle(now=5.0) == []
+        expired = table.expire_idle(now=20.0)
+        assert expired == [rule]
+        assert len(table) == 0
+
+    def test_rules_without_timeout_never_expire(self):
+        table = FlowTable()
+        table.add(FlowRule(match=FlowMatch(), actions=(Action.flood(),)))
+        assert table.expire_idle(now=1e9) == []
+
+    def test_stats_recorded(self):
+        rule = FlowRule(match=FlowMatch(), actions=(Action.flood(),))
+        rule.record_hit(64, now=1.0)
+        rule.record_hit(100, now=2.0)
+        assert rule.packet_count == 2
+        assert rule.byte_count == 164
+        assert rule.last_used == 2.0

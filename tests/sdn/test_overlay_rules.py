@@ -1,0 +1,151 @@
+"""Isolation levels, overlay policy, and the enforcement-rule cache."""
+
+import pytest
+
+from repro.sdn import (
+    EnforcementRule,
+    EnforcementRuleCache,
+    IsolationLevel,
+    OverlayManager,
+)
+
+TRUSTED = "aa:00:00:00:00:01"
+RESTRICTED = "aa:00:00:00:00:02"
+STRICT = "aa:00:00:00:00:03"
+CLOUD_IP = "52.10.20.30"
+
+
+@pytest.fixture()
+def overlays():
+    manager = OverlayManager()
+    manager.assign(TRUSTED, IsolationLevel.TRUSTED)
+    manager.assign(RESTRICTED, IsolationLevel.RESTRICTED, {CLOUD_IP})
+    manager.assign(STRICT, IsolationLevel.STRICT)
+    return manager
+
+
+class TestIsolationLevel:
+    def test_overlay_mapping(self):
+        assert IsolationLevel.TRUSTED.overlay == "trusted"
+        assert IsolationLevel.RESTRICTED.overlay == "untrusted"
+        assert IsolationLevel.STRICT.overlay == "untrusted"
+
+
+class TestOverlayPolicy:
+    def test_same_overlay_allowed(self, overlays):
+        assert overlays.check_device_to_device(RESTRICTED, STRICT).allowed
+        assert overlays.check_device_to_device(STRICT, RESTRICTED).allowed
+
+    def test_cross_overlay_denied(self, overlays):
+        # Fig. 3: untrusted devices cannot reach the trusted overlay.
+        assert not overlays.check_device_to_device(STRICT, TRUSTED).allowed
+        assert not overlays.check_device_to_device(RESTRICTED, TRUSTED).allowed
+        assert not overlays.check_device_to_device(TRUSTED, STRICT).allowed
+
+    def test_unknown_device_denied(self, overlays):
+        assert not overlays.check_device_to_device("ff:ff:00:00:00:01", TRUSTED).allowed
+        assert not overlays.check_device_to_device(TRUSTED, "ff:ff:00:00:00:01").allowed
+
+    def test_trusted_full_internet(self, overlays):
+        assert overlays.check_internet(TRUSTED, "8.8.8.8").allowed
+
+    def test_strict_no_internet(self, overlays):
+        assert not overlays.check_internet(STRICT, "8.8.8.8").allowed
+
+    def test_restricted_allowlist(self, overlays):
+        assert overlays.check_internet(RESTRICTED, CLOUD_IP).allowed
+        assert not overlays.check_internet(RESTRICTED, "8.8.8.8").allowed
+
+    def test_local_address_raises_in_internet_check(self, overlays):
+        with pytest.raises(ValueError):
+            overlays.check_internet(TRUSTED, "192.168.1.22")
+
+    def test_membership_listing(self, overlays):
+        assert overlays.members("trusted") == [TRUSTED]
+        assert set(overlays.members("untrusted")) == {RESTRICTED, STRICT}
+
+    def test_forget(self, overlays):
+        overlays.forget(TRUSTED)
+        assert overlays.level_of(TRUSTED) is None
+        assert not overlays.check_internet(TRUSTED, "8.8.8.8").allowed
+
+    def test_allowlist_requires_restricted(self):
+        manager = OverlayManager()
+        with pytest.raises(ValueError):
+            manager.assign(TRUSTED, IsolationLevel.TRUSTED, {CLOUD_IP})
+
+
+class TestEnforcementRule:
+    def test_hash_stable(self):
+        a = EnforcementRule(RESTRICTED, IsolationLevel.RESTRICTED, frozenset({CLOUD_IP}))
+        b = EnforcementRule(RESTRICTED, IsolationLevel.RESTRICTED, frozenset({CLOUD_IP}))
+        assert a.hash_value == b.hash_value
+
+    def test_hash_differs_by_content(self):
+        a = EnforcementRule(RESTRICTED, IsolationLevel.RESTRICTED, frozenset({CLOUD_IP}))
+        b = EnforcementRule(RESTRICTED, IsolationLevel.RESTRICTED, frozenset({"52.0.0.1"}))
+        assert a.hash_value != b.hash_value
+
+    def test_permitted_ips_only_for_restricted(self):
+        with pytest.raises(ValueError):
+            EnforcementRule(TRUSTED, IsolationLevel.TRUSTED, frozenset({CLOUD_IP}))
+
+    def test_memory_grows_with_endpoints(self):
+        small = EnforcementRule(RESTRICTED, IsolationLevel.RESTRICTED, frozenset({CLOUD_IP}))
+        big = EnforcementRule(
+            RESTRICTED, IsolationLevel.RESTRICTED, frozenset({f"52.0.0.{i}" for i in range(10)})
+        )
+        assert big.memory_bytes() > small.memory_bytes()
+
+
+class TestRuleCache:
+    def test_insert_lookup(self):
+        cache = EnforcementRuleCache()
+        rule = EnforcementRule(TRUSTED, IsolationLevel.TRUSTED)
+        cache.insert(rule)
+        assert cache.lookup(TRUSTED) is rule
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = EnforcementRuleCache()
+        assert cache.lookup("none") is None
+        assert cache.misses == 1
+
+    def test_replace_same_mac(self):
+        cache = EnforcementRuleCache()
+        cache.insert(EnforcementRule(TRUSTED, IsolationLevel.TRUSTED))
+        cache.insert(EnforcementRule(TRUSTED, IsolationLevel.STRICT))
+        assert len(cache) == 1
+        assert cache.lookup(TRUSTED).level is IsolationLevel.STRICT
+
+    def test_capacity_evicts_lru(self):
+        cache = EnforcementRuleCache(capacity=2)
+        cache.insert(EnforcementRule("aa:00:00:00:00:01", IsolationLevel.TRUSTED))
+        cache.insert(EnforcementRule("aa:00:00:00:00:02", IsolationLevel.TRUSTED))
+        cache.lookup("aa:00:00:00:00:01")  # make 01 most-recently used
+        cache.insert(EnforcementRule("aa:00:00:00:00:03", IsolationLevel.TRUSTED))
+        assert "aa:00:00:00:00:02" not in cache
+        assert "aa:00:00:00:00:01" in cache
+
+    def test_remove(self):
+        cache = EnforcementRuleCache()
+        cache.insert(EnforcementRule(TRUSTED, IsolationLevel.TRUSTED))
+        assert cache.remove(TRUSTED)
+        assert not cache.remove(TRUSTED)
+
+    def test_evict_empty(self):
+        assert EnforcementRuleCache().evict_lru() is None
+
+    def test_memory_accounting(self):
+        cache = EnforcementRuleCache()
+        assert cache.memory_bytes() == 0
+        for i in range(10):
+            cache.insert(
+                EnforcementRule(f"aa:00:00:00:01:{i:02x}", IsolationLevel.TRUSTED)
+            )
+        assert cache.memory_bytes() == 10 * 96
+
+    def test_rules_listing(self):
+        cache = EnforcementRuleCache()
+        cache.insert(EnforcementRule(TRUSTED, IsolationLevel.TRUSTED))
+        assert len(cache.rules()) == 1
