@@ -80,7 +80,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     registry = load_registry(args.corpus)
-    identifier = DeviceIdentifier(random_state=args.seed).fit(registry)
+    identifier = DeviceIdentifier(random_state=args.seed).fit(registry, n_jobs=args.jobs)
     save_identifier(identifier, args.output)
     print(f"trained {len(identifier.labels)} classifiers -> {args.output}")
     return 0
@@ -224,6 +224,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--corpus", required=True, help="corpus JSON from `dataset`")
     p_train.add_argument("--output", required=True, help="model JSON output path")
     p_train.add_argument("--seed", type=int, default=None)
+    p_train.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel training workers (-1 = all cores); models are "
+        "identical for any value given the same --seed",
+    )
 
     p_id = sub.add_parser("identify", help="identify the device in a pcap")
     p_id.add_argument("--model", required=True, help="model JSON from `train`")

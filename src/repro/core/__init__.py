@@ -40,8 +40,22 @@ from .features import (
     packet_features,
     port_class,
 )
-from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint, dedupe_consecutive, fixed_vector
+from .fingerprint import (
+    DEFAULT_FP_PACKETS,
+    Fingerprint,
+    dedupe_consecutive,
+    fixed_vector,
+    intern_symbol,
+)
 from .identifier import UNKNOWN_DEVICE, DeviceIdentifier, IdentificationResult
+from .parallel import (
+    derive_entropy,
+    label_rng,
+    label_seed_sequence,
+    parallel_map,
+    resolve_n_jobs,
+    spawn_generators,
+)
 from .registry import DeviceTypeRegistry
 
 __all__ = [
@@ -68,10 +82,17 @@ __all__ = [
     "damerau_levenshtein",
     "damerau_levenshtein_unrestricted",
     "dedupe_consecutive",
+    "derive_entropy",
     "dissimilarity_score",
     "fingerprint_from_records",
     "fixed_vector",
+    "intern_symbol",
+    "label_rng",
+    "label_seed_sequence",
     "normalized_distance",
     "packet_features",
+    "parallel_map",
     "port_class",
+    "resolve_n_jobs",
+    "spawn_generators",
 ]

@@ -18,33 +18,99 @@ __all__ = [
     "damerau_levenshtein_unrestricted",
     "normalized_distance",
     "dissimilarity_score",
+    "dissimilarity_score_grouped",
 ]
 
 
-def damerau_levenshtein(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
-    """Restricted Damerau–Levenshtein (OSA) distance between two sequences."""
+def _osa_distance(a: Sequence[Hashable], b: Sequence[Hashable], cutoff: int | None) -> int:
+    """OSA distance DP with optional early abandon at ``cutoff``.
+
+    Returns the exact distance when it is < ``cutoff`` (or ``cutoff`` is
+    None); otherwise returns ``cutoff`` as soon as the distance is provably
+    at least that large.  The inner loop carries the left/diagonal cells in
+    locals — it runs millions of times per identification batch.
+    """
     n, m = len(a), len(b)
     if n == 0:
         return m
     if m == 0:
         return n
+    if cutoff is not None and abs(n - m) >= cutoff:
+        return cutoff  # distance ≥ |n - m| ≥ cutoff: abandon before the DP
     previous2 = [0] * (m + 1)
     previous = list(range(m + 1))
+    prev_min = 0
+    a_prev: Hashable = None
     for i in range(1, n + 1):
-        current = [i] + [0] * m
         ai = a[i - 1]
+        current = [0] * (m + 1)
+        current[0] = left = row_min = i
+        diag = i - 1  # previous[0]
+        b_prev: Hashable = None
         for j in range(1, m + 1):
-            cost = 0 if ai == b[j - 1] else 1
-            value = min(
-                previous[j] + 1,  # deletion
-                current[j - 1] + 1,  # insertion
-                previous[j - 1] + cost,  # substitution
-            )
-            if i > 1 and j > 1 and ai == b[j - 2] and a[i - 2] == b[j - 1]:
-                value = min(value, previous2[j - 2] + 1)  # transposition
-            current[j] = value
-        previous2, previous = previous, current
+            bj = b[j - 1]
+            above = previous[j]
+            value = diag if ai == bj else diag + 1  # substitution / match
+            insertion = left + 1
+            if insertion < value:
+                value = insertion
+            deletion = above + 1
+            if deletion < value:
+                value = deletion
+            if i > 1 and j > 1 and ai == b_prev and a_prev == bj:
+                transposition = previous2[j - 2] + 1
+                if transposition < value:
+                    value = transposition
+            current[j] = left = value
+            diag = above
+            if value < row_min:
+                row_min = value
+            b_prev = bj
+        # Any alignment path visits at least one of two consecutive DP rows
+        # (a transposition skips at most one) and cell values along a path
+        # never decrease, so once both row minima reach the cutoff the final
+        # distance cannot come in below it.
+        if cutoff is not None and row_min >= cutoff and prev_min >= cutoff:
+            return cutoff
+        prev_min = row_min
+        previous2 = previous
+        previous = current
+        a_prev = ai
     return previous[m]
+
+
+def damerau_levenshtein(
+    a: Sequence[Hashable], b: Sequence[Hashable], *, cutoff: int | None = None
+) -> int:
+    """Restricted Damerau–Levenshtein (OSA) distance between two sequences.
+
+    With ``cutoff`` set, computation may stop early once the distance is
+    provably ≥ ``cutoff``; the return value is then some integer in
+    ``[cutoff, true distance]``.  Whenever the true distance is *below*
+    ``cutoff`` the exact value is returned, so callers that only care
+    about "is it closer than my current best?" get the exact answer in
+    the cases that matter and a cheap certificate otherwise.
+
+    Without ``cutoff`` the result is always exact, computed by iterative
+    deepening (doubling an internal abandon threshold): similar sequences
+    — the common case for a fingerprint against its own type's references
+    — cost O(d·m) for true distance ``d`` instead of O(n·m).
+    """
+    if cutoff is not None:
+        if cutoff < 1:
+            raise ValueError("cutoff must be a positive integer")
+        return _osa_distance(a, b, cutoff)
+    n, m = len(a), len(b)
+    longest = max(n, m)
+    threshold = max(abs(n - m) + 1, 8)
+    # Deepen while an abandoned pass would still be much cheaper than the
+    # full DP; past a quarter of the longest length, just run it in full.
+    while threshold * 4 < longest:
+        distance = _osa_distance(a, b, threshold)
+        if distance < threshold:
+            return distance
+        threshold *= 2
+    return _osa_distance(a, b, None)
 
 
 def damerau_levenshtein_unrestricted(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
@@ -95,21 +161,68 @@ def damerau_levenshtein_unrestricted(a: Sequence[Hashable], b: Sequence[Hashable
     return d[n + 1][m + 1]
 
 
-def normalized_distance(a: Sequence[Hashable], b: Sequence[Hashable]) -> float:
-    """Edit distance divided by the longer length, bounded on [0, 1]."""
+def normalized_distance(
+    a: Sequence[Hashable], b: Sequence[Hashable], *, cutoff: float | None = None
+) -> float:
+    """Edit distance divided by the longer length, bounded on [0, 1].
+
+    ``cutoff`` (a normalized bound) enables early abandon: the result is
+    exact whenever the true normalized distance is ≤ ``cutoff``, and
+    otherwise lies in ``(cutoff, true distance]``.
+    """
     longest = max(len(a), len(b))
     if longest == 0:
         return 0.0
-    return damerau_levenshtein(a, b) / longest
+    if cutoff is None:
+        return damerau_levenshtein(a, b) / longest
+    # Smallest integer distance that would push the normalized value past
+    # the bound; any true distance at or below cutoff·longest stays exact.
+    int_cutoff = int(cutoff * longest) + 1
+    return damerau_levenshtein(a, b, cutoff=int_cutoff) / longest
 
 
 def dissimilarity_score(
     candidate: Sequence[Hashable],
     references: Sequence[Sequence[Hashable]],
+    *,
+    bound: float | None = None,
 ) -> float:
     """Summed normalized distance of ``candidate`` to each reference.
 
     With the paper's five references per device type the score lies in
     [0, 5]; the lowest-scoring type wins the discrimination step.
+
+    ``bound`` short-circuits a losing candidate: once the running sum
+    provably exceeds it, the remaining references are skipped and the
+    partial sum (already > ``bound``) is returned.  Results with a true
+    score ≤ ``bound`` are always exact, so the eventual winner and every
+    tie within the bound are unaffected.
     """
-    return sum(normalized_distance(candidate, reference) for reference in references)
+    return dissimilarity_score_grouped(
+        candidate, [(reference, 1) for reference in references], bound=bound
+    )
+
+
+def dissimilarity_score_grouped(
+    candidate: Sequence[Hashable],
+    groups: Sequence[tuple[Sequence[Hashable], int]],
+    *,
+    bound: float | None = None,
+) -> float:
+    """:func:`dissimilarity_score` over deduplicated ``(reference, count)`` groups.
+
+    Reference fingerprints are repeated setup runs and frequently identical;
+    grouping computes each distinct reference's distance once and weights it
+    by multiplicity — the same sum, fewer DP runs.  ``bound`` semantics match
+    :func:`dissimilarity_score`.
+    """
+    total = 0.0
+    for reference, count in groups:
+        if bound is None:
+            total += count * normalized_distance(candidate, reference)
+        else:
+            remaining = (bound - total) / count
+            total += count * normalized_distance(candidate, reference, cutoff=remaining)
+            if total > bound:
+                break
+    return total

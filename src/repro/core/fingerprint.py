@@ -11,6 +11,7 @@ natural numpy orientation; :attr:`Fingerprint.matrix` exposes the paper's
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -18,7 +19,13 @@ import numpy as np
 
 from .features import NUM_FEATURES
 
-__all__ = ["DEFAULT_FP_PACKETS", "Fingerprint", "dedupe_consecutive", "fixed_vector"]
+__all__ = [
+    "DEFAULT_FP_PACKETS",
+    "Fingerprint",
+    "dedupe_consecutive",
+    "fixed_vector",
+    "intern_symbol",
+]
 
 #: The paper's F' length: "12 packets was a good trade-off".
 DEFAULT_FP_PACKETS = 12
@@ -60,6 +67,27 @@ def fixed_vector(
     return out
 
 
+# Process-wide intern table mapping packet feature tuples to small integer
+# ids.  Edit-distance discrimination compares packet "characters" millions
+# of times per batch; comparing interned ints instead of 23-float tuples
+# keeps equality O(1) and cache-friendly.  The table is append-only and
+# bounded by the number of *distinct* packet vectors ever fingerprinted
+# (small in practice: feature vectors are heavily quantized).
+_SYMBOL_IDS: dict[tuple[float, ...], int] = {}
+_SYMBOL_LOCK = threading.Lock()
+
+
+def intern_symbol(packet: tuple[float, ...]) -> int:
+    """Stable integer id for a packet feature tuple (equal iff all 23 match)."""
+    sid = _SYMBOL_IDS.get(packet)
+    if sid is None:
+        with _SYMBOL_LOCK:
+            sid = _SYMBOL_IDS.get(packet)
+            if sid is None:
+                sid = _SYMBOL_IDS[packet] = len(_SYMBOL_IDS)
+    return sid
+
+
 @dataclass(frozen=True)
 class Fingerprint:
     """One device fingerprint: packet-feature rows plus metadata."""
@@ -67,6 +95,10 @@ class Fingerprint:
     packets: tuple[tuple[float, ...], ...]
     device_mac: str = ""
     label: str | None = None
+    #: Per-instance memo for derived views (F' per length, interned symbols).
+    #: Excluded from equality/hash/repr; safe to fill lazily on the frozen
+    #: dataclass because every entry is a pure function of ``packets``.
+    _cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     @classmethod
     def from_vectors(
@@ -76,11 +108,17 @@ class Fingerprint:
         device_mac: str = "",
         label: str | None = None,
     ) -> "Fingerprint":
-        """Construct from raw per-packet feature vectors (applies dedup)."""
-        deduped = dedupe_consecutive([np.asarray(v) for v in vectors])
-        for vector in deduped:
+        """Construct from raw per-packet feature vectors (applies dedup).
+
+        Shape validation happens *before* consecutive-duplicate removal so a
+        malformed vector is always rejected, even when it would have been
+        dropped as a duplicate of its predecessor.
+        """
+        arrays = [np.asarray(v, dtype=np.float64) for v in vectors]
+        for vector in arrays:
             if vector.shape != (NUM_FEATURES,):
                 raise ValueError(f"feature vector must have {NUM_FEATURES} entries")
+        deduped = dedupe_consecutive(arrays)
         return cls(
             packets=tuple(tuple(float(x) for x in v) for v in deduped),
             device_mac=device_mac,
@@ -105,9 +143,30 @@ class Fingerprint:
         return np.asarray(self.packets, dtype=np.float64)
 
     def fixed(self, length: int = DEFAULT_FP_PACKETS) -> np.ndarray:
-        """The fixed-size vector F' (length × 23 entries)."""
-        return fixed_vector(self.rows, length)
+        """The fixed-size vector F' (length × 23 entries).
 
-    def symbols(self) -> tuple[tuple[float, ...], ...]:
-        """Packets as hashable symbols for edit-distance comparison."""
-        return self.packets
+        Memoized per ``length``: the classifier bank reads the same F'
+        once per classifier pass, so it is computed once and returned as a
+        read-only array thereafter (copy before mutating).
+        """
+        key = ("fixed", length)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = fixed_vector(self.rows, length)
+            cached.setflags(write=False)
+            self._cache[key] = cached
+        return cached
+
+    def symbols(self) -> tuple[int, ...]:
+        """Packets as interned integer symbols for edit-distance comparison.
+
+        Two symbols are equal iff all 23 features match (the paper's
+        character-equality rule); interning makes that an integer compare
+        instead of a 23-tuple compare in the discrimination hot loop.
+        Memoized per instance.
+        """
+        cached = self._cache.get("symbols")
+        if cached is None:
+            cached = tuple(intern_symbol(packet) for packet in self.packets)
+            self._cache["symbols"] = cached
+        return cached

@@ -15,6 +15,7 @@ the paper's scalability argument for the one-classifier-per-type design.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,8 +23,9 @@ import numpy as np
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.sampling import build_binary_training_set
 
-from .editdistance import dissimilarity_score
+from .editdistance import dissimilarity_score_grouped
 from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint
+from .parallel import derive_entropy, label_rng, parallel_map
 from .registry import DeviceTypeRegistry
 
 __all__ = ["UNKNOWN_DEVICE", "IdentificationResult", "DeviceIdentifier"]
@@ -51,6 +53,22 @@ class _TypeModel:
     label: str
     classifier: RandomForestClassifier
     references: list[Fingerprint]
+    _grouped_symbols: list[tuple[tuple[int, ...], int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def grouped_reference_symbols(self) -> list[tuple[tuple[int, ...], int]]:
+        """Distinct reference symbol sequences with multiplicities.
+
+        Repeated setup runs often yield identical fingerprints; the
+        discrimination step computes each distinct sequence's distance once
+        and weights it.  Sorted for a deterministic evaluation order;
+        computed lazily and cached (references never change post-training).
+        """
+        if self._grouped_symbols is None:
+            counts = Counter(ref.symbols() for ref in self.references)
+            self._grouped_symbols = sorted(counts.items())
+        return self._grouped_symbols
 
 
 class DeviceIdentifier:
@@ -74,7 +92,16 @@ class DeviceIdentifier:
         negative sample) still match each other's classifier and fall
         through to discrimination rather than being rejected outright —
         the behaviour the paper's Table III documents.
+    random_state:
+        Base entropy for training.  Each device type trains from its own
+        generator derived from ``(random_state, label)``, so models are
+        byte-identical regardless of ``n_jobs``, training order, or
+        whether a type arrived via :meth:`fit` or :meth:`add_type` — and
+        inference never consumes randomness at all.
     """
+
+    #: Score slack within which two candidates count as tied.
+    TIE_TOLERANCE = 1e-12
 
     def __init__(
         self,
@@ -93,48 +120,61 @@ class DeviceIdentifier:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.accept_threshold = accept_threshold
-        self._rng = (
-            random_state
-            if isinstance(random_state, np.random.Generator)
-            else np.random.default_rng(random_state)
-        )
+        self._entropy = derive_entropy(random_state)
         self._models: dict[str, _TypeModel] = {}
 
     # --- training ---------------------------------------------------------
 
-    def fit(self, registry: DeviceTypeRegistry) -> "DeviceIdentifier":
-        """Train one classifier per type in the registry (from scratch)."""
+    def fit(
+        self, registry: DeviceTypeRegistry, *, n_jobs: int | None = None
+    ) -> "DeviceIdentifier":
+        """Train one classifier per type in the registry (from scratch).
+
+        ``n_jobs`` sets the worker-pool width (None/1 serial, -1 all
+        cores).  Each type trains from its own ``(seed, label)``-derived
+        generator, so the resulting bank is byte-identical for any
+        ``n_jobs`` value.
+        """
         if len(registry) < 2:
             raise ValueError("need at least two device types to train")
-        self._models = {}
-        for label in registry.labels:
-            self._train_type(registry, label)
+        models = parallel_map(
+            lambda label: self._train_type(registry, label),
+            registry.labels,
+            n_jobs=n_jobs,
+        )
+        self._models = {model.label: model for model in models}
         return self
 
     def add_type(self, registry: DeviceTypeRegistry, label: str) -> None:
-        """Train (or retrain) a single type without touching the others."""
-        self._train_type(registry, label)
+        """Train (or retrain) a single type without touching the others.
+
+        Produces the exact model :meth:`fit` would have produced for this
+        label given the same registry contents and seed.
+        """
+        model = self._train_type(registry, label)
+        self._models[label] = model
 
     def remove_type(self, label: str) -> None:
         if label not in self._models:
             raise KeyError(label)
         del self._models[label]
 
-    def _train_type(self, registry: DeviceTypeRegistry, label: str) -> None:
+    def _train_type(self, registry: DeviceTypeRegistry, label: str) -> _TypeModel:
+        rng = label_rng(self._entropy, label)
         positives = registry.positives_matrix(label, self.fp_length)
         negatives = registry.negatives_matrix(label, self.fp_length)
         x, y = build_binary_training_set(
-            positives, negatives, ratio=self.negative_ratio, rng=self._rng
+            positives, negatives, ratio=self.negative_ratio, rng=rng
         )
         classifier = RandomForestClassifier(
             n_estimators=self.n_estimators,
             max_depth=self.max_depth,
-            random_state=self._rng,
+            random_state=rng,
         ).fit(x, y)
         pool = registry.fingerprints(label)
         take = min(self.n_references, len(pool))
-        chosen = self._rng.choice(len(pool), size=take, replace=False)
-        self._models[label] = _TypeModel(
+        chosen = rng.choice(len(pool), size=take, replace=False)
+        return _TypeModel(
             label=label,
             classifier=classifier,
             references=[pool[int(i)] for i in chosen],
@@ -145,13 +185,6 @@ class DeviceIdentifier:
         return sorted(self._models)
 
     # --- inference --------------------------------------------------------
-
-    def _accepts(self, model: _TypeModel, fixed: np.ndarray) -> bool:
-        proba = model.classifier.predict_proba(fixed.reshape(1, -1))[0]
-        classes = list(model.classifier.classes_)
-        if True not in classes:
-            return False
-        return float(proba[classes.index(True)]) >= self.accept_threshold
 
     def classify(self, fingerprint: Fingerprint) -> list[str]:
         """Stage 1: labels whose binary classifier accepts ``F'``."""
@@ -180,20 +213,34 @@ class DeviceIdentifier:
         return candidates
 
     def discriminate(self, fingerprint: Fingerprint, candidates: list[str]) -> tuple[str, dict]:
-        """Stage 2: edit-distance dissimilarity over full ``F``; lowest wins."""
+        """Stage 2: edit-distance dissimilarity over full ``F``; lowest wins.
+
+        Candidates are evaluated in sorted order with a best-score cutoff
+        threaded into the edit distance: once a candidate's running sum
+        provably cannot beat the current best, its remaining references are
+        skipped.  Scores within :data:`TIE_TOLERANCE` of the winner are
+        always exact (the returned ``scores`` dict preserves the tie list);
+        a hopeless candidate's entry may be a partial lower bound, which is
+        still strictly above the winning score.  Ties break to the
+        lexicographically smallest label — identification is deterministic
+        and independent of batch order or prior calls.
+        """
         if not candidates:
             raise ValueError("no candidates to discriminate")
         symbols = fingerprint.symbols()
-        scores = {
-            label: dissimilarity_score(
-                symbols, [ref.symbols() for ref in self._models[label].references]
-            )
-            for label in candidates
-        }
-        best = min(scores.values())
-        tied = sorted(label for label, score in scores.items() if score <= best + 1e-12)
-        winner = tied[0] if len(tied) == 1 else str(tied[int(self._rng.integers(len(tied)))])
-        return winner, scores
+        scores: dict[str, float] = {}
+        best = float("inf")
+        for label in sorted(candidates):
+            groups = self._models[label].grouped_reference_symbols()
+            bound = None if best == float("inf") else best + self.TIE_TOLERANCE
+            score = dissimilarity_score_grouped(symbols, groups, bound=bound)
+            scores[label] = score
+            if score < best:
+                best = score
+        tied = sorted(
+            label for label, score in scores.items() if score <= best + self.TIE_TOLERANCE
+        )
+        return tied[0], scores
 
     def _resolve(self, fingerprint: Fingerprint, candidates: list[str]) -> IdentificationResult:
         if not candidates:

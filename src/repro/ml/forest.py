@@ -30,7 +30,8 @@ class RandomForestClassifier:
         min_samples_split: int = 2,
         max_features: int | str | None = "sqrt",
         bootstrap: bool = True,
-        random_state: int | np.random.Generator | None = None,
+        random_state: int | np.random.Generator | np.random.SeedSequence | None = None,
+        n_jobs: int | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("need at least one tree")
@@ -39,6 +40,7 @@ class RandomForestClassifier:
         self.min_samples_split = min_samples_split
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.n_jobs = n_jobs
         self._rng = (
             random_state
             if isinstance(random_state, np.random.Generator)
@@ -48,6 +50,15 @@ class RandomForestClassifier:
         self.classes_: np.ndarray | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` bootstrap trees.
+
+        Each tree draws its bootstrap sample and split randomness from a
+        child generator seeded off the forest's stream *before* any tree
+        is built, so fitting is reproducible and (via ``n_jobs``) trees
+        can be grown concurrently without changing the resulting model.
+        """
+        from repro.core.parallel import parallel_map, spawn_generators
+
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y)
         if len(x) != len(y):
@@ -55,18 +66,18 @@ class RandomForestClassifier:
         if len(x) == 0:
             raise ValueError("cannot fit an empty dataset")
         self.classes_ = np.unique(y)
-        self.trees_ = []
         n = len(x)
-        for _ in range(self.n_estimators):
+
+        def build(rng: np.random.Generator) -> DecisionTreeClassifier:
             if self.bootstrap:
-                indices = self._rng.integers(0, n, size=n)
+                indices = rng.integers(0, n, size=n)
             else:
                 indices = np.arange(n)
             tree = DecisionTreeClassifier(
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,
                 max_features=self.max_features,
-                random_state=self._rng,
+                random_state=rng,
             )
             sample_x, sample_y = x[indices], y[indices]
             if len(np.unique(sample_y)) < len(self.classes_):
@@ -77,8 +88,10 @@ class RandomForestClassifier:
                 extra = [np.flatnonzero(y == cls)[0] for cls in missing]
                 indices = np.concatenate([indices, np.asarray(extra)])
                 sample_x, sample_y = x[indices], y[indices]
-            tree.fit(sample_x, sample_y)
-            self.trees_.append(tree)
+            return tree.fit(sample_x, sample_y)
+
+        tree_rngs = spawn_generators(self._rng, self.n_estimators)
+        self.trees_ = parallel_map(build, tree_rngs, n_jobs=self.n_jobs)
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -10,8 +10,10 @@ from repro.core import (
     dissimilarity_score,
     normalized_distance,
 )
+from repro.core.editdistance import dissimilarity_score_grouped
 
 seqs = st.lists(st.integers(min_value=0, max_value=5), max_size=12)
+long_seqs = st.lists(st.integers(min_value=0, max_value=3), min_size=30, max_size=60)
 
 
 class TestUnrestrictedVariant:
@@ -109,6 +111,63 @@ class TestNormalized:
         assert damerau_levenshtein(a, b) >= abs(len(a) - len(b))
 
 
+class TestCutoff:
+    """The early-abandon variant must be indistinguishable below the bound."""
+
+    @given(seqs, seqs, st.integers(min_value=1, max_value=15))
+    def test_exact_below_cutoff(self, a, b, cutoff):
+        true = damerau_levenshtein(a, b)
+        got = damerau_levenshtein(a, b, cutoff=cutoff)
+        if true < cutoff:
+            assert got == true
+        else:
+            assert cutoff <= got <= true
+
+    @given(long_seqs, long_seqs)
+    def test_deepening_path_is_exact(self, a, b):
+        # Long sequences exercise the iterative-deepening fast path; it
+        # must agree with a huge-cutoff run (which cannot abandon).
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(
+            a, b, cutoff=len(a) + len(b) + 1
+        )
+
+    @given(seqs, seqs, st.integers(min_value=1, max_value=15))
+    def test_cutoff_symmetry_below_bound(self, a, b, cutoff):
+        # Above the bound either direction may abandon at a different row
+        # and return a different value in [cutoff, true]; symmetry is only
+        # part of the contract when the true distance is below the cutoff.
+        true = damerau_levenshtein(a, b)
+        ab = damerau_levenshtein(a, b, cutoff=cutoff)
+        ba = damerau_levenshtein(b, a, cutoff=cutoff)
+        if true < cutoff:
+            assert ab == ba == true
+        else:
+            assert cutoff <= ab <= true
+            assert cutoff <= ba <= true
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            damerau_levenshtein("ab", "cd", cutoff=0)
+
+    @given(seqs, seqs)
+    def test_osa_upper_bounds_unrestricted(self, a, b):
+        # The pipeline's OSA distance never undercuts the true DL metric.
+        assert damerau_levenshtein(a, b) >= damerau_levenshtein_unrestricted(a, b)
+
+    @given(
+        seqs,
+        seqs,
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    def test_normalized_cutoff_exact_below_bound(self, a, b, cutoff):
+        true = normalized_distance(a, b)
+        got = normalized_distance(a, b, cutoff=cutoff)
+        if true <= cutoff:
+            assert got == pytest.approx(true)
+        else:
+            assert cutoff < got <= true
+
+
 class TestDissimilarityScore:
     def test_sums_over_references(self):
         score = dissimilarity_score("abc", ["abc", "abd", "xyz"])
@@ -120,3 +179,26 @@ class TestDissimilarityScore:
 
     def test_empty_references(self):
         assert dissimilarity_score("abc", []) == 0.0
+
+    @given(
+        seqs,
+        st.lists(seqs, max_size=5),
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    )
+    def test_bound_exact_when_true_score_within(self, candidate, references, bound):
+        true = dissimilarity_score(candidate, references)
+        got = dissimilarity_score(candidate, references, bound=bound)
+        if true <= bound:
+            assert got == pytest.approx(true, abs=1e-12)
+        else:
+            assert bound < got <= true + 1e-12
+
+    @given(seqs, st.lists(seqs, max_size=4))
+    def test_grouped_matches_flat(self, candidate, references):
+        from collections import Counter
+
+        repeated = references * 2  # force multiplicities
+        groups = list(Counter(tuple(r) for r in repeated).items())
+        assert dissimilarity_score_grouped(candidate, groups) == pytest.approx(
+            dissimilarity_score(candidate, repeated)
+        )

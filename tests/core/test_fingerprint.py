@@ -90,6 +90,16 @@ class TestFingerprint:
         with pytest.raises(ValueError):
             Fingerprint.from_vectors([np.zeros(5)])
 
+    def test_malformed_duplicate_rejected(self):
+        # Validation must run before consecutive-dedup: a bad vector that
+        # equals its predecessor used to be silently dropped.
+        with pytest.raises(ValueError):
+            Fingerprint.from_vectors([np.zeros(5), np.zeros(5)])
+
+    def test_malformed_vector_after_valid_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprint.from_vectors([vec(1), vec(1), np.zeros(4)])
+
     def test_symbols_are_hashable(self):
         fp = Fingerprint.from_vectors([vec(1), vec(2)])
         assert len({fp.symbols()[0], fp.symbols()[1]}) == 2
@@ -103,3 +113,45 @@ class TestFingerprint:
         vectors = [vec(i) for i in (3, 1, 4, 1, 5)]
         fp = Fingerprint.from_vectors(vectors)
         assert np.array_equal(fp.fixed(), fixed_vector(dedupe_consecutive(vectors)))
+
+
+class TestMemoization:
+    def test_fixed_is_cached_per_length(self):
+        fp = Fingerprint.from_vectors([vec(1), vec(2)])
+        assert fp.fixed() is fp.fixed()
+        assert fp.fixed(4) is fp.fixed(4)
+        assert fp.fixed(4) is not fp.fixed(6)
+        assert fp.fixed(4).shape != fp.fixed(6).shape
+
+    def test_fixed_cache_is_read_only(self):
+        fp = Fingerprint.from_vectors([vec(1)])
+        with pytest.raises(ValueError):
+            fp.fixed()[0] = 99.0
+
+    def test_symbols_cached(self):
+        fp = Fingerprint.from_vectors([vec(1), vec(2)])
+        assert fp.symbols() is fp.symbols()
+
+    def test_cache_excluded_from_equality_and_hash(self):
+        a = Fingerprint.from_vectors([vec(1)])
+        b = Fingerprint.from_vectors([vec(1)])
+        a.fixed()  # warm one cache only
+        a.symbols()
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSymbolInterning:
+    def test_equal_packets_share_symbol_across_instances(self):
+        a = Fingerprint.from_vectors([vec(1), vec(2)])
+        b = Fingerprint.from_vectors([vec(2), vec(1)])
+        assert a.symbols()[0] == b.symbols()[1]
+        assert a.symbols()[1] == b.symbols()[0]
+
+    def test_distinct_packets_get_distinct_symbols(self):
+        fp = Fingerprint.from_vectors([vec(i + 1) for i in range(6)])
+        assert len(set(fp.symbols())) == 6
+
+    def test_symbol_count_matches_packet_count(self):
+        fp = Fingerprint.from_vectors([vec(1), vec(2), vec(1)])
+        assert len(fp.symbols()) == len(fp)

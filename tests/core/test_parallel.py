@@ -1,0 +1,153 @@
+"""Deterministic parallel-training tests (repro.core.parallel).
+
+The contract under test: worker count, training order, and fit-vs-add_type
+never change a trained model — only wall-clock time.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeviceIdentifier,
+    derive_entropy,
+    label_rng,
+    label_seed_sequence,
+    parallel_map,
+    resolve_n_jobs,
+    spawn_generators,
+)
+from repro.core.persistence import identifier_to_dict
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.serialize import forest_to_dict
+
+from .test_registry_identifier import synthetic_registry
+
+
+class TestResolveNJobs:
+    def test_serial_defaults(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_explicit_counts(self):
+        assert resolve_n_jobs(4) == 4
+
+    def test_all_cores(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, -17])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(bad)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(50))
+        assert parallel_map(lambda x: x * 2, items, n_jobs=4) == [x * 2 for x in items]
+
+    def test_serial_equals_parallel(self):
+        items = ["a", "bb", "ccc"]
+        assert parallel_map(len, items, n_jobs=1) == parallel_map(len, items, n_jobs=3)
+
+    def test_propagates_exceptions(self):
+        def boom(x):
+            raise RuntimeError(f"worker {x}")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2, 3], n_jobs=2)
+
+    def test_empty_input(self):
+        assert parallel_map(len, [], n_jobs=4) == []
+
+
+class TestSeeding:
+    def test_derive_entropy_int_identity(self):
+        assert derive_entropy(42) == 42
+
+    def test_derive_entropy_generator_advances(self):
+        rng = np.random.default_rng(0)
+        assert derive_entropy(rng) != derive_entropy(rng)
+
+    def test_derive_entropy_rejects_junk(self):
+        with pytest.raises(TypeError):
+            derive_entropy("seed")
+
+    def test_label_seed_sequence_is_stable(self):
+        s1 = label_seed_sequence(7, "Aria")
+        s2 = label_seed_sequence(7, "Aria")
+        assert s1.generate_state(4).tolist() == s2.generate_state(4).tolist()
+
+    def test_label_rng_distinct_per_label_and_entropy(self):
+        draws = {
+            (entropy, label): label_rng(entropy, label).integers(0, 2**63)
+            for entropy in (1, 2)
+            for label in ("Aria", "HueBridge")
+        }
+        assert len(set(draws.values())) == 4
+
+    def test_spawn_generators_deterministic(self):
+        a = spawn_generators(np.random.default_rng(3), 5)
+        b = spawn_generators(np.random.default_rng(3), 5)
+        for ga, gb in zip(a, b):
+            assert ga.integers(0, 1000, 10).tolist() == gb.integers(0, 1000, 10).tolist()
+
+    def test_spawn_generators_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_generators(np.random.default_rng(0), -1)
+
+
+def _model_dict(identifier):
+    return json.dumps(identifier_to_dict(identifier), sort_keys=True)
+
+
+class TestFitDeterminism:
+    def test_fit_byte_identical_for_any_n_jobs(self):
+        registry = synthetic_registry(n_types=5, per_type=8)
+        serial = DeviceIdentifier(random_state=99).fit(registry, n_jobs=1)
+        dumps = _model_dict(serial)
+        for n_jobs in (2, 4, -1):
+            parallel = DeviceIdentifier(random_state=99).fit(registry, n_jobs=n_jobs)
+            assert _model_dict(parallel) == dumps
+
+    def test_fit_independent_of_other_types(self):
+        # A type's model depends only on (seed, label, corpus content) —
+        # retraining after unrelated additions reproduces it exactly.
+        registry = synthetic_registry(n_types=4, per_type=8)
+        full = DeviceIdentifier(random_state=5).fit(registry)
+        partial = DeviceIdentifier(random_state=5)
+        partial.fit(registry)
+        partial.add_type(registry, "type2")  # retrain one type in place
+        assert _model_dict(partial) == _model_dict(full)
+
+    def test_add_type_matches_fit(self):
+        registry = synthetic_registry(n_types=4, per_type=8)
+        full = DeviceIdentifier(random_state=31).fit(registry)
+        incremental = DeviceIdentifier(random_state=31).fit(registry)
+        incremental.remove_type("type3")
+        incremental.add_type(registry, "type3")
+        assert _model_dict(incremental) == _model_dict(full)
+
+
+class TestForestDeterminism:
+    def _data(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(120, 6))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        return x, y
+
+    def test_n_jobs_does_not_change_model(self):
+        x, y = self._data()
+        serial = RandomForestClassifier(n_estimators=9, random_state=7, n_jobs=1).fit(x, y)
+        threaded = RandomForestClassifier(n_estimators=9, random_state=7, n_jobs=3).fit(x, y)
+        assert json.dumps(forest_to_dict(serial), sort_keys=True) == json.dumps(
+            forest_to_dict(threaded), sort_keys=True
+        )
+
+    def test_seed_sequence_accepted(self):
+        x, y = self._data()
+        seq = np.random.SeedSequence(21)
+        a = RandomForestClassifier(n_estimators=5, random_state=np.random.SeedSequence(21)).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=seq).fit(x, y)
+        assert np.allclose(a.predict_proba(x), b.predict_proba(x))
