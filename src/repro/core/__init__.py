@@ -40,6 +40,7 @@ from .features import (
     packet_features,
     port_class,
 )
+from .constants import FIXED_VECTOR_DIM
 from .fingerprint import (
     DEFAULT_FP_PACKETS,
     Fingerprint,
@@ -48,7 +49,12 @@ from .fingerprint import (
     intern_symbol,
 )
 from .identifier import UNKNOWN_DEVICE, DeviceIdentifier, IdentificationResult
-from .parallel import (
+from .registry import DeviceTypeRegistry
+
+# Deterministic seeding/parallelism helpers live in repro.ml.parallel (the
+# layer below); they are re-exported here because the identifier's
+# determinism contract is part of the core public surface.
+from repro.ml.parallel import (
     derive_entropy,
     label_rng,
     label_seed_sequence,
@@ -56,10 +62,10 @@ from .parallel import (
     resolve_n_jobs,
     spawn_generators,
 )
-from .registry import DeviceTypeRegistry
 
 __all__ = [
     "DEFAULT_FP_PACKETS",
+    "FIXED_VECTOR_DIM",
     "FeatureImportanceReport",
     "classifier_feature_importance",
     "fingerprint_summary",

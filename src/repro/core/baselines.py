@@ -24,15 +24,33 @@ from .features import FEATURE_NAMES, NUM_FEATURES
 from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint
 from .registry import DeviceTypeRegistry
 
-__all__ = ["aggregate_features", "AGGREGATE_DIM", "MulticlassIdentifier"]
+__all__ = [
+    "aggregate_features",
+    "AGGREGATE_DIM",
+    "AGG_PACKET_COUNT",
+    "AGG_DISTINCT_DESTINATIONS",
+    "MulticlassIdentifier",
+]
 
 _SIZE_IDX = FEATURE_NAMES.index("packet_size")
 _DST_IDX = FEATURE_NAMES.index("dst_ip_counter")
 _SRC_PORT_IDX = FEATURE_NAMES.index("src_port_class")
 _DST_PORT_IDX = FEATURE_NAMES.index("dst_port_class")
 
-#: 18 binary-feature rates + 4 size moments + 2 + 4 + 4 port histograms + 2
-AGGREGATE_DIM = 18 + 4 + 2 + 4 + 4
+#: Count of leading binary (protocol/option) features in Table I order.
+_N_BINARY = _SIZE_IDX
+#: Port classes are a 4-valued code, so each histogram has 4 bins.
+_N_PORT_CLASSES = 4
+
+# Aggregate-vector layout, as named offsets: binary-feature rates, then
+# size moments (mean/std/min/max), two scalar counts, and the two
+# port-class histograms.
+_AGG_SIZE_STATS = _N_BINARY
+AGG_PACKET_COUNT = _AGG_SIZE_STATS + 4
+AGG_DISTINCT_DESTINATIONS = AGG_PACKET_COUNT + 1
+_AGG_SRC_PORT_HIST = AGG_DISTINCT_DESTINATIONS + 1
+_AGG_DST_PORT_HIST = _AGG_SRC_PORT_HIST + _N_PORT_CLASSES
+AGGREGATE_DIM = _AGG_DST_PORT_HIST + _N_PORT_CLASSES
 
 
 def aggregate_features(fingerprint: Fingerprint) -> np.ndarray:
@@ -45,18 +63,20 @@ def aggregate_features(fingerprint: Fingerprint) -> np.ndarray:
     out = np.zeros(AGGREGATE_DIM)
     if len(rows) == 0:
         return out
-    # Rates of the 18 binary protocol/option features.
-    out[:18] = rows[:, :18].mean(axis=0)
+    # Rates of the binary protocol/option features.
+    out[:_N_BINARY] = rows[:, :_N_BINARY].mean(axis=0)
     sizes = rows[:, _SIZE_IDX]
-    out[18] = sizes.mean()
-    out[19] = sizes.std()
-    out[20] = sizes.min()
-    out[21] = sizes.max()
-    out[22] = len(rows)
-    out[23] = rows[:, _DST_IDX].max()  # distinct destinations contacted
-    for k in range(4):
-        out[24 + k] = float(np.mean(rows[:, _SRC_PORT_IDX] == k))
-        out[28 + k] = float(np.mean(rows[:, _DST_PORT_IDX] == k))
+    out[_AGG_SIZE_STATS : _AGG_SIZE_STATS + 4] = (
+        sizes.mean(),
+        sizes.std(),
+        sizes.min(),
+        sizes.max(),
+    )
+    out[AGG_PACKET_COUNT] = len(rows)
+    out[AGG_DISTINCT_DESTINATIONS] = rows[:, _DST_IDX].max()
+    for k in range(_N_PORT_CLASSES):
+        out[_AGG_SRC_PORT_HIST + k] = float(np.mean(rows[:, _SRC_PORT_IDX] == k))
+        out[_AGG_DST_PORT_HIST + k] = float(np.mean(rows[:, _DST_PORT_IDX] == k))
     return out
 
 

@@ -1,0 +1,22 @@
+"""The paper's fingerprint dimensions — the single place they are written.
+
+Everything else in the tree (and the test suite) imports these names; the
+``sentinel-lint`` SL004 checker rejects bare ``23``/``12``/``276``
+literals anywhere near the fingerprinting code so the F → F′ contract of
+IoT Sentinel (Miettinen et al., ICDCS 2017) cannot silently drift between
+training and inference.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NUM_FEATURES", "DEFAULT_FP_PACKETS", "FIXED_VECTOR_DIM"]
+
+#: Features per packet — the 23 rows of Table I.  Must equal
+#: ``len(repro.core.features.FEATURE_NAMES)`` (enforced at import time).
+NUM_FEATURES = 23
+
+#: Packet slots in the fixed-size F′ — "12 packets was a good trade-off".
+DEFAULT_FP_PACKETS = 12
+
+#: Flat dimension of F′: 12 packet slots × 23 features = 276.
+FIXED_VECTOR_DIM = DEFAULT_FP_PACKETS * NUM_FEATURES

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.packets.decoder import DecodedPacket
 
+from .constants import NUM_FEATURES
+
 __all__ = [
     "FEATURE_NAMES",
     "NUM_FEATURES",
@@ -56,7 +58,11 @@ FEATURE_NAMES: tuple[str, ...] = (
     "dst_port_class",
 )
 
-NUM_FEATURES = len(FEATURE_NAMES)
+if len(FEATURE_NAMES) != NUM_FEATURES:  # pragma: no cover - import-time sanity
+    raise AssertionError(
+        f"FEATURE_NAMES has {len(FEATURE_NAMES)} entries, expected NUM_FEATURES="
+        f"{NUM_FEATURES} (repro.core.constants)"
+    )
 
 #: Names of the integer-valued features (all others are binary).
 INTEGER_FEATURES = frozenset({"packet_size", "dst_ip_counter", "src_port_class", "dst_port_class"})

@@ -17,18 +17,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .constants import DEFAULT_FP_PACKETS, FIXED_VECTOR_DIM
 from .features import NUM_FEATURES
 
 __all__ = [
     "DEFAULT_FP_PACKETS",
+    "FIXED_VECTOR_DIM",
     "Fingerprint",
     "dedupe_consecutive",
     "fixed_vector",
     "intern_symbol",
 ]
-
-#: The paper's F' length: "12 packets was a good trade-off".
-DEFAULT_FP_PACKETS = 12
 
 
 def dedupe_consecutive(vectors: Sequence[np.ndarray]) -> list[np.ndarray]:

@@ -21,11 +21,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ml.forest import RandomForestClassifier
+from repro.ml.parallel import derive_entropy, label_rng, parallel_map
 from repro.ml.sampling import build_binary_training_set
 
 from .editdistance import dissimilarity_score_grouped
 from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint
-from .parallel import derive_entropy, label_rng, parallel_map
 from .registry import DeviceTypeRegistry
 
 __all__ = ["UNKNOWN_DEVICE", "IdentificationResult", "DeviceIdentifier"]

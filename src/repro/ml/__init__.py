@@ -7,6 +7,14 @@ imbalance-aware sampling [22], stratified cross-validation).
 
 from .forest import RandomForestClassifier
 from .metrics import accuracy_score, confusion_matrix, per_class_accuracy
+from .parallel import (
+    derive_entropy,
+    label_rng,
+    label_seed_sequence,
+    parallel_map,
+    resolve_n_jobs,
+    spawn_generators,
+)
 from .sampling import build_binary_training_set, negative_subsample
 from .tree import DecisionTreeClassifier
 from .validation import stratified_kfold
@@ -17,7 +25,13 @@ __all__ = [
     "accuracy_score",
     "build_binary_training_set",
     "confusion_matrix",
+    "derive_entropy",
+    "label_rng",
+    "label_seed_sequence",
     "negative_subsample",
+    "parallel_map",
     "per_class_accuracy",
+    "resolve_n_jobs",
+    "spawn_generators",
     "stratified_kfold",
 ]

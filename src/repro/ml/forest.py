@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .parallel import parallel_map, spawn_generators
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
@@ -57,8 +58,6 @@ class RandomForestClassifier:
         is built, so fitting is reproducible and (via ``n_jobs``) trees
         can be grown concurrently without changing the resulting model.
         """
-        from repro.core.parallel import parallel_map, spawn_generators
-
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y)
         if len(x) != len(y):

@@ -1,0 +1,129 @@
+"""Deterministic seeding and parallel execution for training.
+
+This module sits at the bottom of the ML layer (below ``repro.core``,
+which builds the identifier on top of it — see the layering DAG in
+``docs/static-analysis.md``).  The classifier bank trains one independent
+Random Forest per device type, which makes training embarrassingly
+parallel — but naive parallelism over a *shared* random generator would
+make results depend on worker count and scheduling order.  The helpers
+here decouple the two concerns:
+
+* every unit of work gets its **own** :class:`numpy.random.Generator`,
+  derived from the identifier's base entropy plus a stable hash of the
+  work item's label via :class:`numpy.random.SeedSequence`, so the
+  trained models are byte-identical for any ``n_jobs`` (and for
+  :meth:`~repro.core.identifier.DeviceIdentifier.add_type` vs.
+  :meth:`~repro.core.identifier.DeviceIdentifier.fit`);
+* :func:`parallel_map` runs the work through a ``concurrent.futures``
+  thread pool (order-preserving, exception-propagating) or serially when
+  ``n_jobs`` is 1/None.
+
+Threads rather than processes: the workload is numpy-heavy (releases the
+GIL in the expensive kernels) and the registry / model objects would be
+costly to pickle across process boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+import numpy as np
+
+__all__ = [
+    "derive_entropy",
+    "label_seed_sequence",
+    "label_rng",
+    "spawn_generators",
+    "resolve_n_jobs",
+    "parallel_map",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def derive_entropy(
+    random_state: int | np.random.Generator | np.random.SeedSequence | None,
+) -> int:
+    """Reduce any accepted ``random_state`` to a single integer entropy.
+
+    * int — used as-is (the reproducible path);
+    * Generator — one 63-bit draw, so repeated constructions from a shared
+      generator (e.g. the cross-validation harness) stay distinct;
+    * SeedSequence — its entropy pool, hashed to one word;
+    * None — fresh OS entropy.
+    """
+    if isinstance(random_state, (int, np.integer)):
+        return int(random_state)
+    if isinstance(random_state, np.random.Generator):
+        return int(random_state.integers(0, 2**63))
+    if isinstance(random_state, np.random.SeedSequence):
+        return int(random_state.generate_state(1, np.uint64)[0])
+    if random_state is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    raise TypeError(f"unsupported random_state: {type(random_state).__name__}")
+
+
+def label_seed_sequence(entropy: int, label: str) -> np.random.SeedSequence:
+    """A :class:`~numpy.random.SeedSequence` unique to ``(entropy, label)``.
+
+    The label contributes through a SHA-256 digest, so the sequence depends
+    only on the pair — not on how many other labels exist, the order they
+    are trained in, or which worker picks the job up.
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    words = [int.from_bytes(digest[i : i + 8], "little") for i in range(0, 32, 8)]
+    return np.random.SeedSequence([entropy & (2**64 - 1), *words])
+
+
+def label_rng(entropy: int, label: str) -> np.random.Generator:
+    """A generator seeded by :func:`label_seed_sequence`."""
+    return np.random.default_rng(label_seed_sequence(entropy, label))
+
+
+def spawn_generators(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """``n`` independent child generators drawn deterministically from ``rng``.
+
+    Children are seeded from integer draws on the parent stream (not
+    :meth:`~numpy.random.Generator.spawn`, which needs numpy ≥ 1.25), so the
+    result depends only on the parent's state — never on worker count.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seeds = rng.integers(0, 2**63, size=n)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Worker count for ``n_jobs``: None/1 ⇒ serial, -1 ⇒ all cores."""
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be a positive integer, -1, or None")
+    return int(n_jobs)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T] | Sequence[_T],
+    *,
+    n_jobs: int | None = None,
+) -> list[_R]:
+    """``[fn(item) for item in items]``, optionally on a thread pool.
+
+    Output order always matches input order and the first worker exception
+    is re-raised in the caller, so swapping ``n_jobs`` can never change
+    semantics — only wall-clock time.
+    """
+    work = list(items)
+    workers = min(resolve_n_jobs(n_jobs), len(work))
+    if workers <= 1:
+        return [fn(item) for item in work]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, work))

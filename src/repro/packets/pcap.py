@@ -77,21 +77,23 @@ def read_pcap(source: str | Path | BinaryIO) -> PcapFile:
     prefix = None
     nanosecond = False
     for candidate in ("<", ">"):
-        magic = struct.unpack(candidate + "I", raw_magic)[0]
+        magic = struct.unpack(
+            candidate + "I", raw_magic  # sentinel-lint: disable=SL003 -- probes both explicit orders
+        )[0]
         if magic in (MAGIC_MICRO, MAGIC_NANO):
             prefix = candidate
             nanosecond = magic == MAGIC_NANO
             break
     if prefix is None:
         raise DecodeError(f"bad pcap magic {raw_magic.hex()}")
-    remainder = struct.Struct(prefix + "HHiIII")
+    remainder = struct.Struct(prefix + "HHiIII")  # sentinel-lint: disable=SL003 -- prefix from magic probe
     rest = source.read(remainder.size)
     if len(rest) != remainder.size:
         raise DecodeError("truncated pcap global header")
     _major, _minor, _tz, _sig, snaplen, linktype = remainder.unpack(rest)
     capture = PcapFile(linktype=linktype, snaplen=snaplen, nanosecond=nanosecond)
     divisor = 1e9 if nanosecond else 1e6
-    record_header = struct.Struct(prefix + "IIII")
+    record_header = struct.Struct(prefix + "IIII")  # sentinel-lint: disable=SL003 -- prefix from magic probe
     while True:
         head = source.read(record_header.size)
         if not head:
@@ -116,7 +118,12 @@ def write_pcap(
     snaplen: int = 65535,
     nanosecond: bool = False,
 ) -> None:
-    """Write records as a little-endian pcap file."""
+    """Write records as a little-endian pcap file.
+
+    Output is always pinned little-endian (``<``) regardless of host byte
+    order, so captures written by the gateway are byte-identical across
+    machines; readers accept either order via the magic-number probe.
+    """
     if isinstance(target, (str, Path)):
         with open(target, "wb") as handle:
             write_pcap(

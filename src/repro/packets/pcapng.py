@@ -56,7 +56,7 @@ def _parse_shb(body: bytes, state: _SectionState) -> None:
 def _option_value(options: bytes, prefix: str, wanted_code: int) -> bytes | None:
     i = 0
     while i + 4 <= len(options):
-        code, length = struct.unpack_from(prefix + "HH", options, i)
+        code, length = struct.unpack_from(prefix + "HH", options, i)  # sentinel-lint: disable=SL003 -- prefix from SHB magic
         i += 4
         if code == 0:  # opt_endofopt
             return None
@@ -70,7 +70,7 @@ def _option_value(options: bytes, prefix: str, wanted_code: int) -> bytes | None
 def _parse_idb(body: bytes, state: _SectionState) -> None:
     if len(body) < 8:
         raise DecodeError("truncated interface description block")
-    linktype, _reserved, snaplen = struct.unpack_from(state.prefix + "HHI", body)
+    linktype, _reserved, snaplen = struct.unpack_from(state.prefix + "HHI", body)  # sentinel-lint: disable=SL003 -- prefix from SHB magic
     if state.linktype is None:
         state.linktype = linktype
         state.snaplen = snaplen or 65535
@@ -88,7 +88,7 @@ def _parse_epb(body: bytes, state: _SectionState) -> CaptureRecord:
     if len(body) < 20:
         raise DecodeError("truncated enhanced packet block")
     interface, ts_high, ts_low, captured, original = struct.unpack_from(
-        state.prefix + "IIIII", body
+        state.prefix + "IIIII", body  # sentinel-lint: disable=SL003 -- prefix from SHB magic
     )
     data = body[20 : 20 + captured]
     if len(data) != captured:
@@ -103,7 +103,7 @@ def _parse_epb(body: bytes, state: _SectionState) -> CaptureRecord:
 def _parse_spb(body: bytes, state: _SectionState) -> CaptureRecord:
     if len(body) < 4:
         raise DecodeError("truncated simple packet block")
-    original = struct.unpack_from(state.prefix + "I", body)[0]
+    original = struct.unpack_from(state.prefix + "I", body)[0]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
     captured = min(original, state.snaplen, len(body) - 4)
     return CaptureRecord(timestamp=0.0, data=body[4 : 4 + captured], orig_len=original)
 
@@ -131,7 +131,7 @@ def read_pcapng(source: str | Path | BinaryIO) -> PcapFile:
             if len(peek) != 4:
                 raise DecodeError("truncated section header block")
             prefix = "<" if struct.unpack("<I", peek)[0] == BYTE_ORDER_MAGIC else ">"
-            total_length = struct.unpack(prefix + "I", head[4:8])[0]
+            total_length = struct.unpack(prefix + "I", head[4:8])[0]  # sentinel-lint: disable=SL003 -- prefix just derived from magic
             body = peek + source.read(total_length - 16)
             trailer = source.read(4)
             if len(body) != total_length - 12 or len(trailer) != 4:
@@ -141,8 +141,8 @@ def read_pcapng(source: str | Path | BinaryIO) -> PcapFile:
             continue
         if first:
             raise DecodeError("pcapng must start with a section header block")
-        block_type = struct.unpack(state.prefix + "I", head[:4])[0]
-        total_length = struct.unpack(state.prefix + "I", head[4:8])[0]
+        block_type = struct.unpack(state.prefix + "I", head[:4])[0]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+        total_length = struct.unpack(state.prefix + "I", head[4:8])[0]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
         if total_length < 12 or total_length % 4:
             raise DecodeError(f"bad pcapng block length {total_length}")
         body = source.read(total_length - 12)

@@ -39,7 +39,7 @@ class IoTSecurityService:
     ) -> None:
         self.identifier = identifier or DeviceIdentifier(random_state=random_state)
         #: Worker-pool width for bulk training (None/1 serial, -1 all cores).
-        #: Trained models are identical for any value; see repro.core.parallel.
+        #: Trained models are identical for any value; see repro.ml.parallel.
         self.n_jobs = n_jobs
         self.vulndb = vulndb if vulndb is not None else seed_database()
         self.endpoint_directory = dict(endpoint_directory or {})

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import DeviceTypeRegistry, Fingerprint, NUM_FEATURES
-from repro.core.baselines import AGGREGATE_DIM, MulticlassIdentifier, aggregate_features
+from repro.core.baselines import (
+    AGG_DISTINCT_DESTINATIONS,
+    AGG_PACKET_COUNT,
+    AGGREGATE_DIM,
+    MulticlassIdentifier,
+    aggregate_features,
+)
 
 
 class TestAggregateFeatures:
@@ -34,8 +40,8 @@ class TestAggregateFeatures:
     def test_length_and_destinations_recorded(self, small_registry):
         fp = small_registry.fingerprints("HueBridge")[0]
         vector = aggregate_features(fp)
-        assert vector[22] == len(fp)
-        assert vector[23] >= 1
+        assert vector[AGG_PACKET_COUNT] == len(fp)
+        assert vector[AGG_DISTINCT_DESTINATIONS] >= 1
 
 
 class TestMulticlassIdentifier:

@@ -23,7 +23,7 @@ class TestTableI:
 
     def test_exactly_23_features(self):
         assert NUM_FEATURES == 23
-        assert len(FEATURE_NAMES) == 23
+        assert len(FEATURE_NAMES) == NUM_FEATURES
 
     def test_paper_order(self):
         assert FEATURE_NAMES[:2] == ("arp", "llc")  # link layer (2)

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     DEFAULT_FP_PACKETS,
+    FIXED_VECTOR_DIM,
     NUM_FEATURES,
     Fingerprint,
     dedupe_consecutive,
@@ -35,8 +36,9 @@ class TestDedup:
 
 class TestFixedVector:
     def test_length_is_12_times_23(self):
-        assert fixed_vector([vec(1)]).shape == (DEFAULT_FP_PACKETS * NUM_FEATURES,)
-        assert DEFAULT_FP_PACKETS * NUM_FEATURES == 276
+        assert fixed_vector([vec(1)]).shape == (FIXED_VECTOR_DIM,)
+        assert FIXED_VECTOR_DIM == DEFAULT_FP_PACKETS * NUM_FEATURES
+        assert FIXED_VECTOR_DIM == 276
 
     def test_padding_with_zeros(self):
         out = fixed_vector([vec(5)])
@@ -65,7 +67,7 @@ class TestFixedVector:
     @given(st.lists(st.integers(min_value=1, max_value=5), max_size=30))
     def test_fixed_vector_shape_invariant(self, seeds):
         out = fixed_vector([vec(s) for s in seeds])
-        assert out.shape == (276,)
+        assert out.shape == (FIXED_VECTOR_DIM,)
 
 
 class TestFingerprint:
@@ -83,7 +85,7 @@ class TestFingerprint:
         fp = Fingerprint.from_vectors([])
         assert len(fp) == 0
         assert fp.matrix.shape == (NUM_FEATURES, 0)
-        assert fp.fixed().shape == (276,)
+        assert fp.fixed().shape == (FIXED_VECTOR_DIM,)
         assert not fp.fixed().any()
 
     def test_wrong_vector_length_rejected(self):

@@ -1,7 +1,9 @@
-"""Deterministic parallel-training tests (repro.core.parallel).
+"""Deterministic parallel-training tests (repro.ml.parallel).
 
 The contract under test: worker count, training order, and fit-vs-add_type
-never change a trained model — only wall-clock time.
+never change a trained model — only wall-clock time.  The helpers live in
+``repro.ml.parallel`` (the layer below core) and are re-exported from
+``repro.core`` / ``repro.core.parallel`` for compatibility.
 """
 
 import json
@@ -23,6 +25,15 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.serialize import forest_to_dict
 
 from .test_registry_identifier import synthetic_registry
+
+
+class TestCompatibilityShim:
+    def test_core_parallel_reexports_ml_parallel(self):
+        import repro.core.parallel as core_parallel
+        import repro.ml.parallel as ml_parallel
+
+        for name in ml_parallel.__all__:
+            assert getattr(core_parallel, name) is getattr(ml_parallel, name)
 
 
 class TestResolveNJobs:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    FIXED_VECTOR_DIM,
     UNKNOWN_DEVICE,
     DeviceIdentifier,
     DeviceTypeRegistry,
@@ -49,8 +50,8 @@ class TestRegistry:
 
     def test_positives_negatives_shapes(self):
         registry = synthetic_registry()
-        assert registry.positives_matrix("type0").shape == (8, 276)
-        assert registry.negatives_matrix("type0").shape == (24, 276)
+        assert registry.positives_matrix("type0").shape == (8, FIXED_VECTOR_DIM)
+        assert registry.negatives_matrix("type0").shape == (24, FIXED_VECTOR_DIM)
 
     def test_remove_type(self):
         registry = synthetic_registry()

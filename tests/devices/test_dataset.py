@@ -79,7 +79,9 @@ class TestCollect:
         b = registry.positives_matrix("TP-LinkPlugHS100")
         c = registry.positives_matrix("Aria")
         # Binary feature columns agree almost everywhere between siblings...
-        binary_cols = [i for i in range(a.shape[1]) if i % 23 < 18 or i % 23 == 19]
+        binary_cols = [
+            i for i in range(a.shape[1]) if i % NUM_FEATURES < 18 or i % NUM_FEATURES == 19
+        ]
         sibling_gap = np.abs(a[:, binary_cols].mean(0) - b[:, binary_cols].mean(0)).mean()
         distinct_gap = np.abs(a[:, binary_cols].mean(0) - c[:, binary_cols].mean(0)).mean()
         # ...but differ a lot against an unrelated device type.

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.core import (
     DestinationCounter,
     Fingerprint,
+    FIXED_VECTOR_DIM,
     NUM_FEATURES,
     normalized_distance,
     packet_features,
@@ -84,7 +85,7 @@ class TestFingerprintProperties:
     @given(vectors)
     def test_fixed_vector_shape(self, packet_tuples):
         fp = Fingerprint.from_vectors([np.asarray(p) for p in packet_tuples])
-        assert fp.fixed().shape == (276,)
+        assert fp.fixed().shape == (FIXED_VECTOR_DIM,)
 
     @given(vectors, vectors)
     def test_distance_symmetric_on_fingerprints(self, a, b):

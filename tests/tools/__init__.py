@@ -1,0 +1,1 @@
+"""Tests for the sentinel-lint static-analysis suite (tools.sentinel_lint)."""

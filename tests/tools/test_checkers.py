@@ -1,0 +1,269 @@
+"""Per-checker fixture tests: each SL code fires on a violating snippet
+and stays silent on the equivalent clean one.
+
+Fixtures are in-memory strings linted under synthetic repo-relative paths
+(via :class:`~tools.sentinel_lint.source.SourceFile`), so the repo-wide
+lint run never scans them.
+"""
+
+import textwrap
+
+from tools.sentinel_lint import SourceFile, get_checker
+from tools.sentinel_lint.runner import check_source
+
+INFERENCE_PATH = "src/repro/core/identifier.py"
+
+
+def lint(path, text, code):
+    """Findings of one checker over an in-memory snippet."""
+    src = SourceFile(path=path, text=textwrap.dedent(text))
+    findings, _suppressed = check_source(src, [get_checker(code)])
+    return findings
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestSL001NoInferenceRng:
+    def test_fires_on_random_import(self):
+        found = lint(INFERENCE_PATH, "import random\n", "SL001")
+        assert codes(found) == ["SL001"]
+
+    def test_fires_on_numpy_random_import(self):
+        found = lint(INFERENCE_PATH, "from numpy import random\n", "SL001")
+        assert codes(found) == ["SL001"]
+
+    def test_fires_on_np_random_call(self):
+        snippet = """\
+        import numpy as np
+
+        def discriminate(self, fingerprint, candidates):
+            jitter = np.random.default_rng().random()
+            return jitter
+        """
+        found = lint(INFERENCE_PATH, snippet, "SL001")
+        assert codes(found) == ["SL001"]
+        assert "np.random.default_rng" in found[0].message
+
+    def test_fires_on_seeded_helper_outside_training(self):
+        snippet = """\
+        def discriminate(self, fingerprint, candidates):
+            rng = label_rng(self._entropy, candidates[0])
+            return rng
+        """
+        found = lint(INFERENCE_PATH, snippet, "SL001")
+        assert codes(found) == ["SL001"]
+
+    def test_clean_in_whitelisted_training_function(self):
+        snippet = """\
+        def _train_type(self, registry, label):
+            rng = label_rng(self._entropy, label)
+            return rng
+        """
+        assert lint(INFERENCE_PATH, snippet, "SL001") == []
+
+    def test_annotations_are_not_flagged(self):
+        snippet = """\
+        import numpy as np
+
+        def fit(self, random_state: int | np.random.Generator | None = None):
+            return self
+        """
+        assert lint(INFERENCE_PATH, snippet, "SL001") == []
+
+    def test_only_applies_to_inference_files(self):
+        assert lint("src/repro/ml/sampling.py", "import random\n", "SL001") == []
+
+
+class TestSL002NoWallclock:
+    def test_fires_on_time_time(self):
+        snippet = """\
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        found = lint("src/repro/core/extractor.py", snippet, "SL002")
+        assert codes(found) == ["SL002"]
+
+    def test_fires_on_datetime_now(self):
+        snippet = """\
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """
+        found = lint("src/repro/ml/forest.py", snippet, "SL002")
+        assert codes(found) == ["SL002"]
+
+    def test_fires_on_from_import(self):
+        snippet = """\
+        from time import time
+
+        def stamp():
+            return time()
+        """
+        found = lint("src/repro/core/extractor.py", snippet, "SL002")
+        assert codes(found) == ["SL002"]
+
+    def test_clean_without_clock_reads(self):
+        snippet = """\
+        def window(timestamps):
+            return max(timestamps) - min(timestamps)
+        """
+        assert lint("src/repro/core/extractor.py", snippet, "SL002") == []
+
+    def test_only_applies_to_deterministic_dirs(self):
+        snippet = "import time\n\nstart = time.time()\n"
+        assert lint("src/repro/reporting/bench.py", snippet, "SL002") == []
+
+
+class TestSL003ExplicitEndianness:
+    def test_fires_on_native_order_format(self):
+        snippet = """\
+        import struct
+
+        def parse(buf):
+            return struct.unpack("HH", buf)
+        """
+        found = lint("src/repro/packets/ethernet.py", snippet, "SL003")
+        assert codes(found) == ["SL003"]
+        assert "'<', '>' or '!'" in found[0].message
+
+    def test_fires_on_standard_native_prefix(self):
+        # '=' pins sizes but not byte order semantics we require.
+        snippet = 'import struct\n\nHDR = struct.Struct("=IHH")\n'
+        found = lint("src/repro/packets/ip.py", snippet, "SL003")
+        assert codes(found) == ["SL003"]
+
+    def test_fires_on_dynamic_format(self):
+        snippet = """\
+        import struct
+
+        def parse(prefix, buf):
+            return struct.unpack(prefix + "HH", buf)
+        """
+        found = lint("src/repro/packets/pcap.py", snippet, "SL003")
+        assert codes(found) == ["SL003"]
+        assert "dynamic" in found[0].message
+
+    def test_clean_with_explicit_prefixes(self):
+        snippet = """\
+        import struct
+
+        A = struct.Struct("<IHH")
+        B = struct.Struct(">I")
+
+        def parse(buf, n):
+            return struct.unpack("!H" + "B" * n, buf)
+
+        def parse_fstring(buf, n):
+            return struct.unpack(f"<{n}s", buf)
+        """
+        assert lint("src/repro/packets/ip.py", snippet, "SL003") == []
+
+    def test_only_applies_to_packets(self):
+        snippet = 'import struct\n\nstruct.pack("I", 1)\n'
+        assert lint("src/repro/core/fingerprint.py", snippet, "SL003") == []
+
+
+class TestSL004MagicDimensions:
+    def test_fires_on_bare_276(self):
+        snippet = "import numpy as np\n\nvec = np.zeros(276)\n"
+        found = lint("src/repro/core/vectorize.py", snippet, "SL004")
+        assert codes(found) == ["SL004"]
+        assert "FIXED_VECTOR_DIM" in found[0].message
+
+    def test_fires_on_bare_23_and_12(self):
+        snippet = "shape = (12, 23)\n"
+        found = lint("src/repro/core/vectorize.py", snippet, "SL004")
+        assert sorted(codes(found)) == ["SL004", "SL004"]
+
+    def test_pinning_comparison_is_exempt(self):
+        snippet = """\
+        from repro.core.constants import NUM_FEATURES
+
+        assert NUM_FEATURES == 23
+        """
+        assert lint("tests/core/test_features.py", snippet, "SL004") == []
+
+    def test_constants_file_is_exempt(self):
+        snippet = "NUM_FEATURES = 23\nDEFAULT_FP_PACKETS = 12\n"
+        assert lint("src/repro/core/constants.py", snippet, "SL004") == []
+
+    def test_12_not_policed_in_tests(self):
+        assert lint("tests/core/test_extractor.py", "n_packets = 12\n", "SL004") == []
+
+    def test_bools_and_other_ints_ignored(self):
+        snippet = "flags = [True, False]\ncount = 24\n"
+        assert lint("src/repro/core/vectorize.py", snippet, "SL004") == []
+
+
+class TestSL005ImportLayering:
+    def test_fires_on_upward_import(self):
+        found = lint(
+            "src/repro/core/identifier.py", "from repro.gateway import enforcement\n", "SL005"
+        )
+        assert codes(found) == ["SL005"]
+        assert "upward import" in found[0].message
+
+    def test_fires_on_same_layer_import(self):
+        found = lint("src/repro/devices/hub.py", "import repro.sdn.controller\n", "SL005")
+        assert codes(found) == ["SL005"]
+        assert "cross-layer" in found[0].message
+
+    def test_fires_on_unmapped_package(self):
+        found = lint("src/repro/core/identifier.py", "from repro.plugins import x\n", "SL005")
+        assert codes(found) == ["SL005"]
+        assert "not in the layering DAG" in found[0].message
+
+    def test_clean_downward_import(self):
+        snippet = """\
+        from repro.ml.forest import RandomForestClassifier
+        from repro.packets.base import DecodeError
+        """
+        assert lint("src/repro/core/identifier.py", snippet, "SL005") == []
+
+    def test_clean_relative_imports(self):
+        # Same package (level 1) and downward via the parent (level 2).
+        snippet = """\
+        from .fingerprint import Fingerprint
+        from ..ml.forest import RandomForestClassifier
+        """
+        assert lint("src/repro/core/identifier.py", snippet, "SL005") == []
+
+    def test_clean_package_init_relative_import(self):
+        snippet = "from .identifier import DeviceIdentifier\n"
+        assert lint("src/repro/core/__init__.py", snippet, "SL005") == []
+
+    def test_non_layered_files_skipped(self):
+        snippet = "from repro.gateway import enforcement\nimport repro.core\n"
+        assert lint("tests/core/test_identifier.py", snippet, "SL005") == []
+
+
+class TestSL006MutableDefaults:
+    def test_fires_on_list_display_default(self):
+        found = lint("src/repro/cli.py", "def f(x, acc=[]):\n    return acc\n", "SL006")
+        assert codes(found) == ["SL006"]
+
+    def test_fires_on_dict_set_and_constructor_defaults(self):
+        snippet = """\
+        def g(m={}, s=set()):
+            return m, s
+
+        def h(*, out=list()):
+            return out
+
+        k = lambda x, seen={}: seen
+        """
+        found = lint("src/repro/gateway/flows.py", snippet, "SL006")
+        assert codes(found) == ["SL006"] * 4
+
+    def test_clean_defaults(self):
+        snippet = """\
+        def f(x=None, y=(), z="name", n=0):
+            acc = [] if x is None else x
+            return acc, y, z, n
+        """
+        assert lint("src/repro/cli.py", snippet, "SL006") == []

@@ -1,0 +1,70 @@
+"""Lint as a regression guard for PR 1's determinism fix.
+
+The headline bug fixed in PR 1 was an RNG draw inside the identifier's
+stage-2 ``discriminate`` path, which made identification results
+nondeterministic.  These tests prove the lint suite would catch that exact
+bug being reintroduced: the *real* ``src/repro/core/identifier.py`` is
+linted as-is (clean), then with an ``np.random`` draw injected into
+``discriminate`` (SL001 fires).
+"""
+
+from pathlib import Path
+
+from tools.sentinel_lint import SourceFile, run_paths
+from tools.sentinel_lint.registry import get_checker
+from tools.sentinel_lint.runner import check_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+IDENTIFIER_PATH = "src/repro/core/identifier.py"
+
+
+def read_identifier():
+    return (REPO_ROOT / IDENTIFIER_PATH).read_text(encoding="utf-8")
+
+
+def inject_into_method(source, method, statement):
+    """Insert a statement as the first line of a method body."""
+    lines = source.splitlines(keepends=True)
+    for i, line in enumerate(lines):
+        stripped = line.lstrip()
+        if stripped.startswith(f"def {method}("):
+            indent = " " * (len(line) - len(stripped) + 4)
+            lines.insert(i + 1, f"{indent}{statement}\n")
+            return "".join(lines)
+    raise AssertionError(f"method {method!r} not found in {IDENTIFIER_PATH}")
+
+
+class TestRngReinjection:
+    def test_shipped_identifier_is_clean(self):
+        src = SourceFile(path=IDENTIFIER_PATH, text=read_identifier())
+        findings, _ = check_source(src, [get_checker("SL001")])
+        assert findings == []
+
+    def test_rng_draw_in_discriminate_fails_lint(self):
+        mutated = inject_into_method(
+            read_identifier(),
+            "discriminate",
+            "_jitter = np.random.default_rng().random()",
+        )
+        src = SourceFile(path=IDENTIFIER_PATH, text=mutated)
+        findings, _ = check_source(src, [get_checker("SL001")])
+        assert [f.code for f in findings] == ["SL001"]
+        assert "np.random.default_rng" in findings[0].message
+
+    def test_seeded_helper_in_discriminate_fails_lint(self):
+        # Even the audited training-only constructor is illegal in stage 2.
+        mutated = inject_into_method(
+            read_identifier(),
+            "discriminate",
+            "_rng = label_rng(self._entropy, candidates[0])",
+        )
+        src = SourceFile(path=IDENTIFIER_PATH, text=mutated)
+        findings, _ = check_source(src, [get_checker("SL001")])
+        assert [f.code for f in findings] == ["SL001"]
+
+
+class TestTreeIsClean:
+    def test_src_and_tools_lint_clean(self):
+        result = run_paths(str(REPO_ROOT), ["src", "tools"])
+        assert result.findings == []
+        assert result.files_scanned > 0

@@ -1,0 +1,205 @@
+"""Runner, suppression, baseline, reporter and CLI behaviour."""
+
+import json
+
+import pytest
+
+from tools.sentinel_lint import SourceFile
+from tools.sentinel_lint.baseline import Baseline
+from tools.sentinel_lint.cli import main
+from tools.sentinel_lint.findings import PARSE_ERROR_CODE, Finding
+from tools.sentinel_lint.registry import all_checkers, get_checker
+from tools.sentinel_lint.runner import check_source, discover_files
+
+#: A packets-path snippet with one SL003 violation (native byte order).
+BAD_STRUCT = 'import struct\n\nHEADER = struct.Struct("IHH")\n'
+
+
+def make_finding(path="src/a.py", line=1, col=0, code="SL003", message="m"):
+    return Finding(path=path, line=line, col=col, code=code, message=message)
+
+
+class TestDiscovery:
+    def test_finds_python_files_sorted(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        assert discover_files(str(tmp_path), ["pkg"]) == ["pkg/a.py", "pkg/b.py"]
+
+    def test_skips_pycache_and_dotdirs(self, tmp_path):
+        for skipped in ("__pycache__", ".hidden"):
+            (tmp_path / "pkg" / skipped).mkdir(parents=True)
+            (tmp_path / "pkg" / skipped / "x.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "real.py").write_text("x = 1\n")
+        assert discover_files(str(tmp_path), ["pkg"]) == ["pkg/real.py"]
+
+    def test_single_file_and_dedup(self, tmp_path):
+        (tmp_path / "one.py").write_text("x = 1\n")
+        assert discover_files(str(tmp_path), ["one.py", "one.py"]) == ["one.py"]
+
+    def test_missing_target_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            discover_files(str(tmp_path), ["no/such/dir"])
+
+
+class TestCheckSource:
+    def test_parse_error_yields_sl000(self):
+        src = SourceFile(path="src/repro/packets/broken.py", text="def broken(:\n")
+        findings, suppressed = check_source(src, all_checkers())
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+        assert suppressed == 0
+
+    def test_inapplicable_checkers_skip_parse(self):
+        # No checker scopes itself to this path except SL006, which parses;
+        # restricting to SL003 means the broken file is never parsed.
+        src = SourceFile(path="docs/example.py", text="def broken(:\n")
+        assert check_source(src, [get_checker("SL003")]) == ([], 0)
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_justification(self):
+        text = (
+            "import struct\n\n"
+            'H = struct.Struct(prefix + "HH")'
+            "  # sentinel-lint: disable=SL003 -- prefix comes from the magic\n"
+        )
+        src = SourceFile(path="src/repro/packets/x.py", text=text)
+        findings, suppressed = check_source(src, [get_checker("SL003")])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_file_level_suppression(self):
+        text = (
+            "# sentinel-lint: disable-file=SL003\n"
+            "import struct\n\n"
+            'A = struct.Struct("IHH")\n'
+            'B = struct.Struct("II")\n'
+        )
+        src = SourceFile(path="src/repro/packets/x.py", text=text)
+        findings, suppressed = check_source(src, [get_checker("SL003")])
+        assert findings == []
+        assert suppressed == 2
+
+    def test_wrong_code_does_not_suppress(self):
+        text = 'import struct\n\nH = struct.Struct("IHH")  # sentinel-lint: disable=SL006\n'
+        src = SourceFile(path="src/repro/packets/x.py", text=text)
+        findings, suppressed = check_source(src, [get_checker("SL003")])
+        assert [f.code for f in findings] == ["SL003"]
+        assert suppressed == 0
+
+    def test_directive_inside_string_is_ignored(self):
+        text = (
+            "import struct\n\n"
+            'NOTE = "# sentinel-lint: disable-file=SL003"\n'
+            'H = struct.Struct("IHH")\n'
+        )
+        src = SourceFile(path="src/repro/packets/x.py", text=text)
+        findings, _ = check_source(src, [get_checker("SL003")])
+        assert [f.code for f in findings] == ["SL003"]
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [make_finding(line=1), make_finding(line=9)]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(str(path))
+        loaded = Baseline.load(str(path))
+        assert loaded.entries == {"src/a.py::SL003": 2}
+
+    def test_split_budget(self):
+        baseline = Baseline.from_findings([make_finding(line=1)])
+        new, baselined = baseline.split([make_finding(line=5), make_finding(line=2)])
+        # Budget of one: the earliest finding is absorbed, the rest are new.
+        assert [f.line for f in baselined] == [2]
+        assert [f.line for f in new] == [5]
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+    def test_load_rejects_bad_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": {"a.py::SL003": 0}}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+@pytest.fixture
+def mini_repo(tmp_path):
+    """A tiny repo root with one SL003 violation in the packets tree."""
+    packets = tmp_path / "src" / "repro" / "packets"
+    packets.mkdir(parents=True)
+    (packets / "__init__.py").write_text("")
+    (packets / "codec.py").write_text(BAD_STRUCT)
+    return tmp_path
+
+
+class TestCli:
+    def test_findings_exit_1(self, mini_repo, capsys):
+        assert main(["--root", str(mini_repo), "src"]) == 1
+        out = capsys.readouterr().out
+        assert "SL003" in out
+        assert "codec.py:3" in out
+
+    def test_clean_tree_exit_0(self, mini_repo, capsys):
+        (mini_repo / "src" / "repro" / "packets" / "codec.py").write_text(
+            'import struct\n\nHEADER = struct.Struct("<IHH")\n'
+        )
+        assert main(["--root", str(mini_repo), "src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_missing_target_exit_2(self, mini_repo):
+        assert main(["--root", str(mini_repo), "nonexistent"]) == 2
+
+    def test_corrupt_baseline_exit_2(self, mini_repo):
+        bad = mini_repo / "baseline.json"
+        bad.write_text("{}")
+        assert main(["--root", str(mini_repo), "--baseline", str(bad), "src"]) == 2
+
+    def test_write_baseline_then_clean(self, mini_repo, capsys):
+        baseline = mini_repo / "baseline.json"
+        assert (
+            main(["--root", str(mini_repo), "--baseline", str(baseline), "--write-baseline", "src"])
+            == 0
+        )
+        capsys.readouterr()
+        # The acknowledged finding no longer fails the run...
+        assert main(["--root", str(mini_repo), "--baseline", str(baseline), "src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...unless the baseline is bypassed.
+        assert main(["--root", str(mini_repo), "--baseline", str(baseline), "--no-baseline", "src"]) == 1
+
+    def test_baseline_does_not_absorb_regressions(self, mini_repo, capsys):
+        baseline = mini_repo / "baseline.json"
+        main(["--root", str(mini_repo), "--baseline", str(baseline), "--write-baseline", "src"])
+        capsys.readouterr()
+        # A second violation in the same file exceeds the budget of one.
+        codec = mini_repo / "src" / "repro" / "packets" / "codec.py"
+        codec.write_text(BAD_STRUCT + 'TRAILER = struct.Struct("II")\n')
+        assert main(["--root", str(mini_repo), "--baseline", str(baseline), "src"]) == 1
+
+    def test_json_format(self, mini_repo, capsys):
+        assert main(["--root", str(mini_repo), "--format", "json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["files_scanned"] == 2
+        assert [f["code"] for f in payload["findings"]] == ["SL003"]
+
+    def test_select_and_ignore(self, mini_repo):
+        assert main(["--root", str(mini_repo), "--select", "SL006", "src"]) == 0
+        assert main(["--root", str(mini_repo), "--ignore", "SL003", "src"]) == 0
+        assert main(["--root", str(mini_repo), "--select", "SL003", "src"]) == 1
+
+    def test_syntax_error_reported_as_sl000(self, mini_repo, capsys):
+        (mini_repo / "src" / "repro" / "packets" / "oops.py").write_text("def broken(:\n")
+        assert main(["--root", str(mini_repo), "src"]) == 1
+        assert PARSE_ERROR_CODE in capsys.readouterr().out
+
+    def test_list_checkers(self, capsys):
+        assert main(["--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+            assert code in out

@@ -1,0 +1,35 @@
+"""sentinel-lint: repo-native AST static analysis for the IoT Sentinel tree.
+
+A standalone, stdlib-only analysis framework with checkers that pin the
+contracts generic linters cannot see:
+
+* ``SL001`` — no RNG construction or shared-RNG use in the inference path
+  (locks in the determinism guarantee of the two-stage identifier),
+* ``SL002`` — no wall-clock reads in deterministic packages,
+* ``SL003`` — every ``struct`` format string in the packet codecs carries
+  an explicit byte order,
+* ``SL004`` — the 23/12/276 fingerprint dimensions come from named
+  constants, never bare literals,
+* ``SL005`` — package imports follow the layering DAG,
+* ``SL006`` — no mutable default arguments.
+
+Run as ``python -m tools.sentinel_lint src tests benchmarks``.  See
+``docs/static-analysis.md`` for the full workflow (suppressions, baseline,
+adding a checker).
+"""
+
+from .findings import Finding
+from .registry import all_checkers, get_checker, register
+from .runner import run_paths
+from .source import SourceFile
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "all_checkers",
+    "get_checker",
+    "register",
+    "run_paths",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,80 @@
+"""Regression baseline: acknowledged pre-existing findings.
+
+The baseline maps ``path::CODE`` keys to an allowed count.  At run time
+the first *count* findings for each key (in line order) are demoted to
+"baselined" and do not fail the run; any excess is a regression and fails
+normally.  Counts rather than line numbers keep the file stable under
+unrelated edits.
+
+The repo policy (see ``docs/static-analysis.md``) is to *fix* true
+positives rather than baseline them — the shipped baseline is empty — but
+the mechanism exists so a future checker can land strict-by-default
+without blocking on a tree-wide cleanup in the same PR.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+#: Repo-relative location of the shipped baseline.
+DEFAULT_BASELINE_PATH = "tools/sentinel_lint/baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Allowed finding counts per ``path::CODE`` key."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, filesystem_path: str) -> "Baseline":
+        with open(filesystem_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{filesystem_path}: not a sentinel-lint baseline file")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(f"{filesystem_path}: unsupported baseline version {version!r}")
+        entries = payload["entries"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"{filesystem_path}: baseline entries must be an object")
+        out = cls()
+        for key, count in entries.items():
+            if not isinstance(count, int) or count < 1:
+                raise ValueError(f"{filesystem_path}: bad count for {key!r}: {count!r}")
+            out.entries[key] = count
+        return out
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        out = cls()
+        for finding in findings:
+            out.entries[finding.key()] += 1
+        return out
+
+    def save(self, filesystem_path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        with open(filesystem_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition sorted findings into (new, baselined)."""
+        budget = Counter(self.entries)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in sorted(findings):
+            if budget[finding.key()] > 0:
+                budget[finding.key()] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,13 @@
+"""Built-in checkers.  Importing this package registers every checker."""
+
+from . import (  # noqa: F401
+    sl001_rng,
+    sl002_wallclock,
+    sl003_endianness,
+    sl004_magic_dims,
+    sl005_layering,
+    sl006_mutable_defaults,
+)
+from .base import Checker
+
+__all__ = ["Checker"]

@@ -1,0 +1,67 @@
+"""Checker base class and small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..source import SourceFile
+
+
+class Checker:
+    """One lint rule.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`.  :meth:`applies_to` lets path-scoped checkers skip files
+    cheaply (before the AST is even parsed).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:  # noqa: ARG002 - scoped subclasses use it
+        return True
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FunctionStackVisitor(ast.NodeVisitor):
+    """NodeVisitor tracking the enclosing function-name stack."""
+
+    def __init__(self) -> None:
+        self.function_stack: list[str] = []
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.function_stack.append(getattr(node, "name", "<lambda>"))
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @property
+    def current_function(self) -> str | None:
+        return self.function_stack[-1] if self.function_stack else None

@@ -1,0 +1,106 @@
+"""SL001: no RNG construction or shared-RNG use on the inference path.
+
+PR 1's headline bug was nondeterministic identification caused by an RNG
+draw in the two-stage identifier's discrimination step.  The fix made all
+randomness flow through seed-derived generators consumed at *training*
+time only.  This checker pins that property mechanically for the three
+inference-critical modules:
+
+* importing :mod:`random` (or ``numpy.random``) is forbidden outright;
+* any call through ``np.random.*`` / ``numpy.random.*`` — including
+  ``default_rng``, ``Generator``, ``RandomState``, ``seed`` and the
+  module-level convenience functions that share global state — is
+  forbidden;
+* the audited seed-derived constructors (``label_rng``,
+  ``spawn_generators``, ``default_rng``) may only be called inside the
+  training functions whitelisted per file in
+  :data:`tools.sentinel_lint.config.TRAINING_FUNCTIONS`.
+
+Type annotations (``random_state: int | np.random.Generator``) are fine:
+only imports and calls are policed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import config
+from ..findings import Finding
+from ..registry import register
+from ..source import SourceFile
+from .base import Checker, FunctionStackVisitor, dotted_name
+
+
+class _RngVisitor(FunctionStackVisitor):
+    def __init__(self, checker: "NoInferenceRngChecker", src: SourceFile) -> None:
+        super().__init__()
+        self.checker = checker
+        self.src = src
+        self.findings: list[Finding] = []
+        self.allowed_functions = config.TRAINING_FUNCTIONS.get(src.path, frozenset())
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.checker.finding(self.src, node, message))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random" or alias.name in ("numpy.random",):
+                self._flag(node, f"import of {alias.name!r} in inference-path module")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "random" or module.startswith("random."):
+            self._flag(node, f"import from {module!r} in inference-path module")
+        elif module in ("numpy.random", "np.random"):
+            self._flag(node, f"import from {module!r} in inference-path module")
+        elif module == "numpy" and any(alias.name == "random" for alias in node.names):
+            self._flag(node, "import of 'numpy.random' in inference-path module")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            if name.startswith(("np.random.", "numpy.random.")) or name in (
+                "np.random",
+                "numpy.random",
+            ):
+                self._flag(
+                    node,
+                    f"call to {name!r}: no RNG construction or shared-RNG use "
+                    "on the inference path",
+                )
+            else:
+                tail = name.split(".")[-1]
+                if tail in config.SEEDED_RNG_HELPERS or tail in ("RandomState", "Generator"):
+                    if self.current_function not in self.allowed_functions:
+                        where = (
+                            f"function {self.current_function!r}"
+                            if self.current_function
+                            else "module level"
+                        )
+                        self._flag(
+                            node,
+                            f"call to RNG constructor {name!r} at {where}: only the "
+                            "whitelisted training functions may obtain generators",
+                        )
+        self.generic_visit(node)
+
+
+@register
+class NoInferenceRngChecker(Checker):
+    code = "SL001"
+    name = "no-rng-in-inference"
+    description = (
+        "Inference-path modules must not construct or consume randomness; "
+        "seed-derived generators are training-only."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path in config.INFERENCE_FILES
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        visitor = _RngVisitor(self, src)
+        visitor.visit(src.tree)
+        return visitor.findings

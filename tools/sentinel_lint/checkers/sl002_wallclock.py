@@ -1,0 +1,91 @@
+"""SL002: no wall-clock reads in deterministic packages.
+
+``repro.core`` and ``repro.ml`` results must be pure functions of their
+inputs and the training seed.  Timing belongs in ``repro.reporting`` /
+``benchmarks``, where it is measured, not in the pipeline, where it would
+leak into behaviour (timeouts, time-keyed caches, timestamped models).
+
+Detected: calls whose dotted name ends with a known wall-clock reader
+(``time.time``, ``datetime.now``, ``date.today``, …) and calls to names
+imported from the :mod:`time` / :mod:`datetime` modules (``from time
+import time``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import config
+from ..findings import Finding
+from ..registry import register
+from ..source import SourceFile
+from .base import Checker, dotted_name
+
+#: Bare function names that are wall-clock readers when imported from
+#: ``time``/``datetime``.
+_CLOCK_NAMES = frozenset(
+    suffix.split(".")[-1] for suffix in config.WALLCLOCK_CALL_SUFFIXES
+)
+
+
+class _WallclockVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "NoWallclockChecker", src: SourceFile) -> None:
+        self.checker = checker
+        self.src = src
+        self.findings: list[Finding] = []
+        #: names bound by ``from time/datetime import ...`` in this module
+        self.clock_imports: dict[str, str] = {}
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("time", "datetime"):
+            for alias in node.names:
+                if alias.name in _CLOCK_NAMES or alias.name in ("datetime", "date"):
+                    self.clock_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            for suffix in config.WALLCLOCK_CALL_SUFFIXES:
+                if name == suffix or name.endswith("." + suffix):
+                    self.findings.append(
+                        self.checker.finding(
+                            self.src,
+                            node,
+                            f"wall-clock read {name!r} in a deterministic package "
+                            "(timing belongs in reporting/benchmarks)",
+                        )
+                    )
+                    break
+            else:
+                if "." not in name and name in self.clock_imports:
+                    origin = self.clock_imports[name]
+                    if origin.split(".")[-1] in _CLOCK_NAMES:
+                        self.findings.append(
+                            self.checker.finding(
+                                self.src,
+                                node,
+                                f"wall-clock read {origin!r} (imported as {name!r}) "
+                                "in a deterministic package",
+                            )
+                        )
+        self.generic_visit(node)
+
+
+@register
+class NoWallclockChecker(Checker):
+    code = "SL002"
+    name = "no-wallclock-in-deterministic-paths"
+    description = "repro.core and repro.ml must not read the wall clock."
+
+    def applies_to(self, path: str) -> bool:
+        return any(
+            path.startswith(prefix.rstrip("/") + "/") for prefix in config.DETERMINISTIC_DIRS
+        )
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        visitor = _WallclockVisitor(self, src)
+        visitor.visit(src.tree)
+        return visitor.findings

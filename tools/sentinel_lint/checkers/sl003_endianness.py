@@ -1,0 +1,102 @@
+"""SL003: every struct format in the packet codecs pins its byte order.
+
+Wire and capture formats are byte-order-defined; ``struct`` without a
+prefix (or with ``=``) silently encodes *host* order and produces captures
+that decode differently across machines.  Every format string reachable in
+``src/repro/packets/`` must therefore start with ``<``, ``>`` or ``!``.
+
+The format argument is resolved statically when it is:
+
+* a string literal — checked directly;
+* an f-string — its leading literal fragment is checked;
+* ``head + tail`` concatenation — the leftmost literal operand is checked.
+
+A format whose *head* is dynamic (``prefix + "HH"`` where ``prefix`` is a
+runtime value) cannot be verified statically and is flagged too: the
+pcap/pcapng readers legitimately select the prefix from the file's
+byte-order magic, and those call sites carry an audited inline
+suppression explaining exactly that.  New dynamic formats must be
+consciously acknowledged the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import config
+from ..findings import Finding
+from ..registry import register
+from ..source import SourceFile
+from .base import Checker, dotted_name
+
+
+def _leading_literal(node: ast.expr) -> str | None:
+    """The compile-time head of a format expression, or None if dynamic."""
+    # Walk to the leftmost operand of any +-concatenation chain.
+    while isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        node = node.left
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        if node.values and isinstance(node.values[0], ast.Constant):
+            value = node.values[0].value
+            if isinstance(value, str):
+                return value
+        return None
+    return None
+
+
+class _EndiannessVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "ExplicitEndiannessChecker", src: SourceFile) -> None:
+        self.checker = checker
+        self.src = src
+        self.findings: list[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and node.args:
+            parts = name.split(".")
+            if parts[-1] in config.STRUCT_FMT_FUNCTIONS and (
+                len(parts) == 1 or parts[-2] == "struct"
+            ):
+                fmt_node = node.args[0]
+                head = _leading_literal(fmt_node)
+                if head is None:
+                    self.findings.append(
+                        self.checker.finding(
+                            self.src,
+                            fmt_node,
+                            f"{name}: format string is dynamic — byte order cannot "
+                            "be verified statically; audit it and add a targeted "
+                            "suppression with a justification",
+                        )
+                    )
+                elif not head.startswith(config.EXPLICIT_BYTE_ORDER_PREFIXES):
+                    shown = head if len(head) <= 12 else head[:12] + "…"
+                    self.findings.append(
+                        self.checker.finding(
+                            self.src,
+                            fmt_node,
+                            f"{name}({shown!r}): format lacks an explicit byte order "
+                            "— prefix it with '<', '>' or '!' (never native order "
+                            "in wire/capture codecs)",
+                        )
+                    )
+        self.generic_visit(node)
+
+
+@register
+class ExplicitEndiannessChecker(Checker):
+    code = "SL003"
+    name = "explicit-endianness"
+    description = "struct formats in repro.packets must pin '<', '>' or '!' byte order."
+
+    def applies_to(self, path: str) -> bool:
+        return any(
+            path.startswith(prefix.rstrip("/") + "/") for prefix in config.PACKETS_DIRS
+        )
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        visitor = _EndiannessVisitor(self, src)
+        visitor.visit(src.tree)
+        return visitor.findings

@@ -1,0 +1,92 @@
+"""SL004: the fingerprint dimensions are named constants, not literals.
+
+The paper's contract — 23 features per packet, 12 packet slots, a
+12 × 23 = 276-dimensional F′ — must be honoured identically at training
+and inference.  A bare ``276`` that silently disagrees with the constants
+is exactly the drift failure mode reproduction studies keep hitting, so
+inside the fingerprinting tree the dimensions may only be spelled via
+``NUM_FEATURES`` / ``DEFAULT_FP_PACKETS`` / ``FIXED_VECTOR_DIM`` from
+``repro.core.constants``.
+
+Two deliberate escapes:
+
+* ``src/repro/core/constants.py`` itself — the single place the numbers
+  are written down;
+* comparisons that *mention one of the constant names*
+  (``assert NUM_FEATURES == 23``) — those are the pinning assertions that
+  tie the named constants back to the paper, and removing the literal
+  there would make the test tautological.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import config
+from ..findings import Finding
+from ..registry import register
+from ..source import SourceFile
+from .base import Checker
+
+
+def _pinned_literal_ids(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes inside comparisons that name a dimension constant."""
+    pinned: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        names = {
+            sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)
+        }
+        if names & config.DIMENSION_CONSTANT_NAMES:
+            pinned.update(
+                id(sub)
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Constant)
+            )
+    return pinned
+
+
+@register
+class MagicDimensionChecker(Checker):
+    code = "SL004"
+    name = "magic-dimension-literals"
+    description = (
+        "Bare 23/12/276 fingerprint dimensions must come from repro.core.constants."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        if path == config.DIMENSION_CONSTANTS_FILE:
+            return False
+        scopes = set()
+        for _constant, dirs in config.DIMENSION_LITERALS.values():
+            scopes.update(dirs)
+        return any(path.startswith(scope.rstrip("/") + "/") for scope in scopes)
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        pinned = _pinned_literal_ids(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            # bool is an int subclass; keep True/False out of the net.
+            if type(node.value) is not int:
+                continue
+            entry = config.DIMENSION_LITERALS.get(node.value)
+            if entry is None:
+                continue
+            constant_name, dirs = entry
+            if not any(src.path.startswith(d.rstrip("/") + "/") for d in dirs):
+                continue
+            if id(node) in pinned:
+                continue
+            findings.append(
+                self.finding(
+                    src,
+                    node,
+                    f"bare dimension literal {node.value}: use "
+                    f"{constant_name} from repro.core.constants (or compare "
+                    "against it explicitly to pin the contract)",
+                )
+            )
+        return findings

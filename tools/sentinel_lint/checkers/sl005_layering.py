@@ -1,0 +1,161 @@
+"""SL005: package imports follow the layering DAG.
+
+The architecture is a strict layering (see
+:data:`tools.sentinel_lint.config.LAYERS`)::
+
+    packets → ml → core → {devices, sdn} → {labtools, securityservice}
+            → gateway → {attacks, netsim} → reporting → cli
+
+A module may import ``repro`` packages from strictly *lower* layers and
+from its own package.  Importing upward couples the identification core
+to its consumers; importing a same-layer sibling silently merges layers.
+Both directions are how a clean pipeline decays into a ball of mud one
+"just this once" import at a time, so both are findings.
+
+Relative imports are resolved against the importing module's package, and
+a ``repro`` package missing from the DAG is itself a finding — extending
+the tree means placing the new package in the config first.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import config
+from ..findings import Finding
+from ..registry import register
+from ..source import SourceFile
+from .base import Checker
+
+
+def _module_parts(path: str) -> tuple[list[str], list[str]] | None:
+    """(module parts, containing-package parts) for a layered file, else None.
+
+    For ``src/repro/core/identifier.py`` that is
+    ``(["repro","core","identifier"], ["repro","core"])``; a package's
+    ``__init__.py`` *is* its package, so relative imports resolve against
+    the package itself.
+    """
+    prefix = config.LAYERED_ROOT.rstrip("/") + "/"
+    if not path.startswith(prefix):
+        return None
+    parts = path[len(prefix) :].removesuffix(".py").split("/")
+    if parts[-1] == "__init__":
+        module = [config.LAYERED_PACKAGE, *parts[:-1]]
+        return module, module
+    module = [config.LAYERED_PACKAGE, *parts]
+    return module, module[:-1]
+
+
+def _package_of(module: str) -> str | None:
+    """The layered package a dotted import path belongs to, or None."""
+    parts = module.split(".")
+    if parts[0] != config.LAYERED_PACKAGE:
+        return None
+    if len(parts) == 1:
+        # ``import repro`` — the package root re-exports nothing layered.
+        return None
+    return parts[1]
+
+
+class _LayeringVisitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        checker: "ImportLayeringChecker",
+        src: SourceFile,
+        module_parts: list[str],
+        package_parts: list[str],
+    ) -> None:
+        self.checker = checker
+        self.src = src
+        self.module_parts = module_parts
+        self.package_parts = package_parts
+        # Package of the importing module: repro/<pkg>/... or a top-level
+        # module (repro/cli.py), whose "package" is its own module name.
+        self.importer_package = module_parts[1] if len(module_parts) > 1 else None
+        self.findings: list[Finding] = []
+
+    def _check_target(self, node: ast.AST, module: str) -> None:
+        target_package = _package_of(module)
+        if target_package is None or self.importer_package is None:
+            return
+        if target_package == self.importer_package:
+            return
+        importer_layer = config.layer_of(self.importer_package)
+        target_layer = config.layer_of(target_package)
+        if importer_layer is None:
+            self.findings.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"package {self.importer_package!r} is not in the layering DAG — "
+                    "add it to tools/sentinel_lint/config.py LAYERS",
+                )
+            )
+            return
+        if target_layer is None:
+            self.findings.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"imported package {target_package!r} is not in the layering DAG — "
+                    "add it to tools/sentinel_lint/config.py LAYERS",
+                )
+            )
+            return
+        if target_layer > importer_layer:
+            self.findings.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"upward import: {self.importer_package!r} (layer {importer_layer}) "
+                    f"imports {module!r} (layer {target_layer})",
+                )
+            )
+        elif target_layer == importer_layer:
+            self.findings.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"cross-layer import: {self.importer_package!r} and "
+                    f"{target_package!r} are both in layer {importer_layer}; "
+                    "siblings must stay independent",
+                )
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_target(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            if node.module:
+                self._check_target(node, node.module)
+        else:
+            # Resolve ``from ..x import y`` against this module's package:
+            # level 1 is the package itself, each extra level climbs once.
+            cut = len(self.package_parts) - (node.level - 1)
+            if cut > 0:
+                base = self.package_parts[:cut]
+                module = ".".join(base + ([node.module] if node.module else []))
+                self._check_target(node, module)
+        self.generic_visit(node)
+
+
+@register
+class ImportLayeringChecker(Checker):
+    code = "SL005"
+    name = "import-layering"
+    description = "repro packages may only import strictly lower layers of the DAG."
+
+    def applies_to(self, path: str) -> bool:
+        return _module_parts(path) is not None
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        resolved = _module_parts(src.path)
+        assert resolved is not None
+        module_parts, package_parts = resolved
+        visitor = _LayeringVisitor(self, src, module_parts, package_parts)
+        visitor.visit(src.tree)
+        return visitor.findings

@@ -1,0 +1,75 @@
+"""SL006: no mutable default arguments.
+
+``def f(x, acc=[])`` shares one list across every call — a classic Python
+footgun that has produced real cross-request state leaks.  Defaults that
+are list/dict/set displays, comprehensions, or bare ``list()``/``dict()``
+/``set()``/``bytearray()`` calls are flagged; use ``None`` plus an
+in-body default instead (or ``dataclasses.field(default_factory=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..registry import register
+from ..source import SourceFile
+from .base import Checker
+
+_MUTABLE_DISPLAY = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAY):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+class _DefaultsVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "MutableDefaultChecker", src: SourceFile) -> None:
+        self.checker = checker
+        self.src = src
+        self.findings: list[Finding] = []
+
+    def _check_arguments(self, owner: str, args: ast.arguments) -> None:
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.findings.append(
+                    self.checker.finding(
+                        self.src,
+                        default,
+                        f"mutable default argument in {owner!r}: the object is "
+                        "shared across calls — default to None and create it "
+                        "in the body",
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_arguments(node.name, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_arguments(node.name, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_arguments("<lambda>", node.args)
+        self.generic_visit(node)
+
+
+@register
+class MutableDefaultChecker(Checker):
+    code = "SL006"
+    name = "mutable-default-args"
+    description = "Function defaults must not be mutable objects."
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        visitor = _DefaultsVisitor(self, src)
+        visitor.visit(src.tree)
+        return visitor.findings

@@ -1,0 +1,129 @@
+"""Repo-specific policy shared by the checkers.
+
+Everything path-shaped here is a '/'-separated path relative to the repo
+root, matching :attr:`tools.sentinel_lint.source.SourceFile.path`.
+"""
+
+from __future__ import annotations
+
+# --- SL001: inference-path determinism ---------------------------------------
+
+#: Modules on the identification inference path.  PR 1's headline bug was a
+#: shared-RNG draw leaking into ``discriminate``; these files must never
+#: construct or consume randomness outside the audited training helpers.
+INFERENCE_FILES = frozenset(
+    {
+        "src/repro/core/identifier.py",
+        "src/repro/core/editdistance.py",
+        "src/repro/core/fingerprint.py",
+    }
+)
+
+#: Seed-derived RNG constructors from ``repro.ml.parallel`` — the one audited
+#: way to obtain a generator.  Calling them is allowed only inside the
+#: functions listed per file (training entry points), never in inference code.
+SEEDED_RNG_HELPERS = frozenset({"label_rng", "spawn_generators", "default_rng"})
+
+#: file -> function names allowed to call :data:`SEEDED_RNG_HELPERS`.
+TRAINING_FUNCTIONS: dict[str, frozenset[str]] = {
+    "src/repro/core/identifier.py": frozenset({"_train_type"}),
+}
+
+# --- SL002: wall-clock-free packages -----------------------------------------
+
+#: Directories whose modules must not read the wall clock: identification
+#: results may depend only on inputs and the training seed.
+DETERMINISTIC_DIRS = ("src/repro/core", "src/repro/ml")
+
+#: Dotted-suffix call patterns that read wall-clock (or host-local) time.
+WALLCLOCK_CALL_SUFFIXES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+# --- SL003: explicit endianness in packet codecs ------------------------------
+
+PACKETS_DIRS = ("src/repro/packets",)
+
+#: struct functions whose first argument is a format string.
+STRUCT_FMT_FUNCTIONS = frozenset(
+    {"pack", "unpack", "pack_into", "unpack_from", "iter_unpack", "calcsize", "Struct"}
+)
+
+#: Format prefixes that pin the byte order independent of the host.
+EXPLICIT_BYTE_ORDER_PREFIXES = ("<", ">", "!")
+
+# --- SL004: named fingerprint dimensions --------------------------------------
+
+#: The module allowed to spell the dimensions as bare literals: the single
+#: source of truth the rest of the tree imports from.
+DIMENSION_CONSTANTS_FILE = "src/repro/core/constants.py"
+
+#: Names whose presence in a comparison marks it as a contract-pinning
+#: assertion (``assert NUM_FEATURES == 23`` stays legal — it is the test
+#: that the named constant still matches the paper).
+DIMENSION_CONSTANT_NAMES = frozenset(
+    {"NUM_FEATURES", "DEFAULT_FP_PACKETS", "FIXED_VECTOR_DIM"}
+)
+
+#: literal value -> (constant name, directories where the bare literal is
+#: forbidden).  23 and 276 are distinctive enough to police in the test
+#: tree as well; 12 is too common a number outside ``src`` to flag there.
+DIMENSION_LITERALS: dict[int, tuple[str, tuple[str, ...]]] = {
+    23: (
+        "NUM_FEATURES",
+        ("src/repro/core", "src/repro/ml", "tests/core", "tests/ml", "tests/integration"),
+    ),
+    276: (
+        "FIXED_VECTOR_DIM",
+        ("src/repro/core", "src/repro/ml", "tests/core", "tests/ml", "tests/integration"),
+    ),
+    12: ("DEFAULT_FP_PACKETS", ("src/repro/core", "src/repro/ml")),
+}
+
+# --- SL005: import layering ---------------------------------------------------
+
+#: The layering DAG, lowest layer first.  A module may import ``repro``
+#: packages from strictly lower layers (and its own package); same-layer
+#: and upward imports are violations.  This refines the conceptual chain
+#: ``packets → core → ml-consumers → securityservice/sdn → gateway``:
+#: ``ml`` sits *below* ``core`` because the two-stage identifier is built
+#: on the generic ML substrate, not the other way around.
+LAYERS: tuple[frozenset[str], ...] = (
+    frozenset({"packets"}),
+    frozenset({"ml"}),
+    frozenset({"core"}),
+    frozenset({"devices", "sdn"}),
+    frozenset({"labtools", "securityservice"}),
+    frozenset({"gateway"}),
+    frozenset({"attacks", "netsim"}),
+    frozenset({"reporting"}),
+    frozenset({"cli"}),
+    frozenset({"__main__"}),
+)
+
+#: Directory holding the layered source tree.
+LAYERED_ROOT = "src/repro"
+#: Import prefix of the layered tree.
+LAYERED_PACKAGE = "repro"
+
+
+def layer_of(package: str) -> int | None:
+    """Index of ``package`` in :data:`LAYERS`, or None if unmapped."""
+    for rank, names in enumerate(LAYERS):
+        if package in names:
+            return rank
+    return None

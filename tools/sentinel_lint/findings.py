@@ -1,0 +1,41 @@
+"""The unit of lint output: one finding, with stable ordering and codes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Pseudo-code emitted when a scanned file fails to parse.  It participates
+#: in baselining/suppression like any checker code so a vendored
+#: syntactically-broken file can be acknowledged without hiding real codes.
+PARSE_ERROR_CODE = "SL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic at a source location.
+
+    Ordering is (path, line, col, code) so reports are deterministic
+    regardless of checker registration or scan order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+
+    def key(self) -> str:
+        """Baseline grouping key: findings are counted per file and code."""
+        return f"{self.path}::{self.code}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,41 @@
+"""Checker registry: codes map to checker classes via ``@register``."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a registry ↔ checkers import cycle at runtime
+    from .checkers.base import Checker
+
+_CHECKERS: dict[str, "type[Checker]"] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the registry (unique code)."""
+    code = cls.code
+    if not code or not code.startswith("SL"):
+        raise ValueError(f"checker {cls.__name__} has invalid code {code!r}")
+    if code in _CHECKERS:
+        raise ValueError(f"duplicate checker code {code}")
+    _CHECKERS[code] = cls
+    return cls
+
+
+def _load_builtin_checkers() -> None:
+    # Importing the subpackage triggers every ``@register`` decorator.
+    from . import checkers  # noqa: F401
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, sorted by code."""
+    _load_builtin_checkers()
+    return [_CHECKERS[code]() for code in sorted(_CHECKERS)]
+
+
+def get_checker(code: str) -> Checker:
+    """Instantiate one checker by its ``SLxxx`` code."""
+    _load_builtin_checkers()
+    try:
+        return _CHECKERS[code]()
+    except KeyError:
+        raise KeyError(f"no checker registered for code {code!r}") from None

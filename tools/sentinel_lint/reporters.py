@@ -1,0 +1,57 @@
+"""Render lint results as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+
+@dataclass
+class RunResult:
+    """Everything one lint run produced, pre-partitioned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_scanned: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failed else 0
+
+
+def render_text(result: RunResult, *, verbose: bool = False) -> str:
+    """The default report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in sorted(result.findings)]
+    if verbose:
+        lines.extend(f"{finding.render()} [baselined]" for finding in sorted(result.baselined))
+    summary = (
+        f"sentinel-lint: {len(result.findings)} finding(s) in "
+        f"{result.files_scanned} file(s)"
+    )
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed_count:
+        extras.append(f"{result.suppressed_count} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    payload = {
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed_count,
+        "baselined": [finding.to_dict() for finding in sorted(result.baselined)],
+        "findings": [finding.to_dict() for finding in sorted(result.findings)],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2)

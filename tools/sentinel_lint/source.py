@@ -1,0 +1,45 @@
+"""Parsed view of one file under analysis.
+
+Checkers consume :class:`SourceFile` rather than raw paths so the test
+suite can lint in-memory snippets under synthetic repo-relative paths —
+no fixture files that the repo-wide lint run would then scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SourceFile:
+    """One Python source file: repo-relative path, text, and parsed AST.
+
+    ``path`` is always a '/'-separated path relative to the repo root
+    (e.g. ``src/repro/core/identifier.py``); checkers scope themselves by
+    matching against it.
+    """
+
+    path: str
+    text: str
+    _tree: ast.Module | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_path(cls, path: str, filesystem_path: str) -> "SourceFile":
+        with open(filesystem_path, "r", encoding="utf-8") as handle:
+            return cls(path=path, text=handle.read())
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed module (raises ``SyntaxError`` for broken sources)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.path)
+        return self._tree
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def in_dir(self, *prefixes: str) -> bool:
+        """True when the file lives under any of the given directories."""
+        return any(self.path.startswith(prefix.rstrip("/") + "/") for prefix in prefixes)

@@ -1,0 +1,68 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the usual ``noqa`` conventions:
+
+* ``# sentinel-lint: disable=SL003`` — suppresses the listed codes for
+  findings reported *on that physical line*;
+* ``# sentinel-lint: disable-file=SL004,SL006`` — suppresses the listed
+  codes for the whole file (conventionally placed near the top).
+
+Anything after ``--`` in the comment is a free-form justification and is
+ignored by the parser; writing one is strongly encouraged::
+
+    fmt = prefix + "HH"  # sentinel-lint: disable=SL003 -- prefix comes from the byte-order magic
+
+Comments are found with :mod:`tokenize`, so the directive text appearing
+inside a string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .source import SourceFile
+
+_DIRECTIVE = re.compile(
+    r"#\s*sentinel-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Z0-9,\s]+)"
+)
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip() for code in raw.split("--")[0].split(",") if code.strip()}
+
+
+@dataclass
+class Suppressions:
+    """Suppression state for one file."""
+
+    line_codes: dict[int, set[str]] = field(default_factory=dict)
+    file_codes: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, src: SourceFile) -> "Suppressions":
+        out = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(src.text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _DIRECTIVE.search(token.string)
+                if match is None:
+                    continue
+                codes = _parse_codes(match.group("codes"))
+                if match.group("scope"):
+                    out.file_codes |= codes
+                else:
+                    out.line_codes.setdefault(token.start[0], set()).update(codes)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unparseable file: no suppressions; the runner reports SL000.
+            pass
+        return out
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, set())
