@@ -8,19 +8,27 @@ Subcommands mirror the operational workflow:
 * ``train``    — train the per-type classifier bank from a corpus
 * ``identify`` — identify the device in a pcap with a trained model
 * ``evaluate`` — cross-validate a corpus and print per-type accuracy
+* ``obs``      — pretty-print a trace captured with ``--trace-out``
+
+``train`` and ``identify`` accept ``--trace-out``/``--metrics-out`` to
+capture the run's spans (JSON-lines) and metrics (Prometheus text) — see
+``docs/observability.md``.
 
 Example session::
 
     iot-sentinel dataset --runs 20 --seed 7 --output corpus.json
     iot-sentinel train --corpus corpus.json --output model.json
     iot-sentinel simulate --device iKettle2 --seed 3 --output kettle.pcap
-    iot-sentinel identify --model model.json --pcap kettle.pcap
+    iot-sentinel identify --model model.json --pcap kettle.pcap \\
+        --trace-out trace.jsonl --metrics-out metrics.prom
+    iot-sentinel obs --trace trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -32,12 +40,60 @@ from repro.core.persistence import (
     save_registry,
 )
 from repro.devices import DEVICE_PROFILES, collect_dataset, profile_by_name, simulate_setup_capture
+from repro.obs import (
+    RecordingProvider,
+    registry_to_prometheus,
+    render_trace_tree,
+    trace_from_jsonl,
+    trace_to_jsonl,
+    use_provider,
+)
 from repro.packets import decode, read_capture, write_pcap
 from repro.reporting import crossvalidate_identification, render_accuracy_bars
 from repro.securityservice import seed_database
 from repro.securityservice.assessment import assess_device_type
 
 __all__ = ["main", "build_parser"]
+
+
+@contextmanager
+def _observed(args: argparse.Namespace):
+    """Record spans/metrics for a command when exporter flags are set.
+
+    With neither ``--trace-out`` nor ``--metrics-out`` the global no-op
+    provider stays installed and the command runs uninstrumented.
+    Exports are written even when the command fails partway — a trace of
+    a failed run is exactly what an operator wants to look at.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield
+        return
+    provider = RecordingProvider()
+    try:
+        with use_provider(provider):
+            yield
+    finally:
+        if trace_out:
+            with open(trace_out, "w", encoding="utf-8") as handle:
+                handle.write(trace_to_jsonl(provider.tracer.records()))
+            print(f"wrote trace to {trace_out}", file=sys.stderr)
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry_to_prometheus(provider.metrics))
+            print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's spans as JSON-lines (inspect with `iot-sentinel obs`)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics in Prometheus text format",
+    )
 
 
 def _cmd_devices(_args: argparse.Namespace) -> int:
@@ -80,7 +136,10 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     registry = load_registry(args.corpus)
-    identifier = DeviceIdentifier(random_state=args.seed).fit(registry, n_jobs=args.jobs)
+    with _observed(args):
+        identifier = DeviceIdentifier(random_state=args.seed).fit(
+            registry, n_jobs=args.jobs
+        )
     save_identifier(identifier, args.output)
     print(f"trained {len(identifier.labels)} classifiers -> {args.output}")
     return 0
@@ -96,11 +155,12 @@ def _cmd_identify(args: argparse.Namespace) -> int:
             return 1
         mac = decode(capture.records[0].data).src_mac
         print(f"(inferred device MAC {mac} from the first frame)")
-    fingerprint = fingerprint_from_records(capture.records, mac)
-    if len(fingerprint) == 0:
-        print(f"error: no packets from {mac} in capture", file=sys.stderr)
-        return 1
-    result = identifier.identify(fingerprint)
+    with _observed(args):
+        fingerprint = fingerprint_from_records(capture.records, mac)
+        if len(fingerprint) == 0:
+            print(f"error: no packets from {mac} in capture", file=sys.stderr)
+            return 1
+        result = identifier.identify(fingerprint)
     assessment = assess_device_type(result.label, seed_database())
     print(f"device type     : {result.label}")
     if result.candidates:
@@ -186,6 +246,37 @@ def _cmd_script(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Pretty-print a JSON-lines trace captured with ``--trace-out``."""
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            records = trace_from_jsonl(handle.read())
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.span:
+        records = [r for r in records if r.name == args.span]
+    if not records:
+        print("(no spans)")
+        return 0
+    print(render_trace_tree(records))
+    durations = {}
+    for record in records:
+        durations.setdefault(record.name, []).append(record.duration * 1e3)
+    print()
+    print(f"{'span':<32} {'count':>6} {'total ms':>10} {'mean ms':>10}")
+    for name in sorted(durations):
+        values = durations[name]
+        print(
+            f"{name:<32} {len(values):>6} {sum(values):>10.3f} "
+            f"{sum(values) / len(values):>10.3f}"
+        )
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     registry = load_registry(args.corpus)
     result = crossvalidate_identification(
@@ -229,11 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel training workers (-1 = all cores); models are "
         "identical for any value given the same --seed",
     )
+    _add_obs_flags(p_train)
 
     p_id = sub.add_parser("identify", help="identify the device in a pcap")
     p_id.add_argument("--model", required=True, help="model JSON from `train`")
     p_id.add_argument("--pcap", required=True, help="capture of the device's setup")
     p_id.add_argument("--mac", default=None, help="device MAC (default: first frame's source)")
+    _add_obs_flags(p_id)
 
     p_export = sub.add_parser(
         "export-captures", help="materialize the evaluation corpus as pcaps"
@@ -268,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--repetitions", type=int, default=1)
     p_eval.add_argument("--seed", type=int, default=None)
 
+    p_obs = sub.add_parser("obs", help="pretty-print a captured span trace")
+    p_obs.add_argument("--trace", required=True, help="JSON-lines trace from --trace-out")
+    p_obs.add_argument("--span", default=None, help="show only spans with this name")
+
     return parser
 
 
@@ -281,6 +378,7 @@ _COMMANDS = {
     "collect": _cmd_collect,
     "script": _cmd_script,
     "evaluate": _cmd_evaluate,
+    "obs": _cmd_obs,
 }
 
 

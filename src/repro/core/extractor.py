@@ -7,6 +7,10 @@ declares the phase over when the inter-packet gap exceeds ``idle_gap``
 seconds after at least ``min_packets`` packets, or when ``max_packets`` /
 ``max_duration`` caps are hit — the same observable the paper describes,
 made explicit and testable.
+
+Instrumented with ``repro.obs``: :func:`fingerprint_from_records` runs
+inside the ``extract.fingerprint`` span (Table IV's "Fingerprint
+extraction" row) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import names as obs_names
+from repro.obs import span as obs_span
 from repro.packets.decoder import DecodedPacket, decode
 from repro.packets.pcap import CaptureRecord
 
@@ -167,12 +173,14 @@ def fingerprint_from_records(
     detector: SetupPhaseDetector | None = None,
 ) -> Fingerprint:
     """Extract a fingerprint from pcap records, filtering by source MAC."""
-    extractor = FingerprintExtractor(device_mac, detector=detector)
-    for record in records:
-        packet = decode(record.data)
-        if packet.src_mac != device_mac:
-            continue
-        if extractor.add(record.timestamp, packet):
-            break
-    extractor.finish()
-    return extractor.fingerprint(label=label)
+    with obs_span(obs_names.SPAN_EXTRACT, records=len(records)) as span:
+        extractor = FingerprintExtractor(device_mac, detector=detector)
+        for record in records:
+            packet = decode(record.data)
+            if packet.src_mac != device_mac:
+                continue
+            if extractor.add(record.timestamp, packet):
+                break
+        extractor.finish()
+        span.set(packets=extractor.packet_count)
+        return extractor.fingerprint(label=label)

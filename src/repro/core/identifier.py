@@ -11,6 +11,10 @@ dissimilarity score in [0, 5] and the lowest score wins.
 
 New types can be added (and retired) without retraining any other model —
 the paper's scalability argument for the one-classifier-per-type design.
+
+Instrumented with ``repro.obs``: the per-stage spans (``identify``,
+``identify.classify[.model]``, ``identify.discriminate``) mirror the
+Table IV step breakdown — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -23,6 +27,9 @@ import numpy as np
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.parallel import derive_entropy, label_rng, parallel_map
 from repro.ml.sampling import build_binary_training_set
+from repro.obs import counter as obs_counter
+from repro.obs import names as obs_names
+from repro.obs import span as obs_span
 
 from .editdistance import dissimilarity_score_grouped
 from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint
@@ -137,11 +144,12 @@ class DeviceIdentifier:
         """
         if len(registry) < 2:
             raise ValueError("need at least two device types to train")
-        models = parallel_map(
-            lambda label: self._train_type(registry, label),
-            registry.labels,
-            n_jobs=n_jobs,
-        )
+        with obs_span(obs_names.SPAN_TRAIN_FIT, types=len(registry), n_jobs=n_jobs):
+            models = parallel_map(
+                lambda label: self._train_type(registry, label),
+                registry.labels,
+                n_jobs=n_jobs,
+            )
         self._models = {model.label: model for model in models}
         return self
 
@@ -160,25 +168,27 @@ class DeviceIdentifier:
         del self._models[label]
 
     def _train_type(self, registry: DeviceTypeRegistry, label: str) -> _TypeModel:
-        rng = label_rng(self._entropy, label)
-        positives = registry.positives_matrix(label, self.fp_length)
-        negatives = registry.negatives_matrix(label, self.fp_length)
-        x, y = build_binary_training_set(
-            positives, negatives, ratio=self.negative_ratio, rng=rng
-        )
-        classifier = RandomForestClassifier(
-            n_estimators=self.n_estimators,
-            max_depth=self.max_depth,
-            random_state=rng,
-        ).fit(x, y)
-        pool = registry.fingerprints(label)
-        take = min(self.n_references, len(pool))
-        chosen = rng.choice(len(pool), size=take, replace=False)
-        return _TypeModel(
-            label=label,
-            classifier=classifier,
-            references=[pool[int(i)] for i in chosen],
-        )
+        with obs_span(obs_names.SPAN_TRAIN_TYPE, label=label):
+            rng = label_rng(self._entropy, label)
+            positives = registry.positives_matrix(label, self.fp_length)
+            negatives = registry.negatives_matrix(label, self.fp_length)
+            x, y = build_binary_training_set(
+                positives, negatives, ratio=self.negative_ratio, rng=rng
+            )
+            classifier = RandomForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                random_state=rng,
+            ).fit(x, y)
+            pool = registry.fingerprints(label)
+            take = min(self.n_references, len(pool))
+            chosen = rng.choice(len(pool), size=take, replace=False)
+            obs_counter(obs_names.METRIC_TYPES_TRAINED).inc()
+            return _TypeModel(
+                label=label,
+                classifier=classifier,
+                references=[pool[int(i)] for i in chosen],
+            )
 
     @property
     def labels(self) -> list[str]:
@@ -200,16 +210,18 @@ class DeviceIdentifier:
             raise RuntimeError("identifier is not trained")
         if not fingerprints:
             return []
-        stacked = np.vstack([fp.fixed(self.fp_length) for fp in fingerprints])
-        candidates: list[list[str]] = [[] for _ in fingerprints]
-        for label, model in sorted(self._models.items()):
-            proba = model.classifier.predict_proba(stacked)
-            classes = list(model.classifier.classes_)
-            if True not in classes:
-                continue
-            positive = proba[:, classes.index(True)]
-            for row in np.flatnonzero(positive >= self.accept_threshold):
-                candidates[int(row)].append(label)
+        with obs_span(obs_names.SPAN_CLASSIFY, batch=len(fingerprints)):
+            stacked = np.vstack([fp.fixed(self.fp_length) for fp in fingerprints])
+            candidates: list[list[str]] = [[] for _ in fingerprints]
+            for label, model in sorted(self._models.items()):
+                with obs_span(obs_names.SPAN_CLASSIFY_MODEL, label=label):
+                    proba = model.classifier.predict_proba(stacked)
+                classes = list(model.classifier.classes_)
+                if True not in classes:
+                    continue
+                positive = proba[:, classes.index(True)]
+                for row in np.flatnonzero(positive >= self.accept_threshold):
+                    candidates[int(row)].append(label)
         return candidates
 
     def discriminate(self, fingerprint: Fingerprint, candidates: list[str]) -> tuple[str, dict]:
@@ -227,24 +239,30 @@ class DeviceIdentifier:
         """
         if not candidates:
             raise ValueError("no candidates to discriminate")
-        symbols = fingerprint.symbols()
-        scores: dict[str, float] = {}
-        best = float("inf")
-        for label in sorted(candidates):
-            groups = self._models[label].grouped_reference_symbols()
-            bound = None if best == float("inf") else best + self.TIE_TOLERANCE
-            score = dissimilarity_score_grouped(symbols, groups, bound=bound)
-            scores[label] = score
-            if score < best:
-                best = score
-        tied = sorted(
-            label for label, score in scores.items() if score <= best + self.TIE_TOLERANCE
-        )
-        return tied[0], scores
+        with obs_span(obs_names.SPAN_DISCRIMINATE, candidates=len(candidates)):
+            obs_counter(obs_names.METRIC_DISCRIMINATIONS).inc()
+            symbols = fingerprint.symbols()
+            scores: dict[str, float] = {}
+            best = float("inf")
+            for label in sorted(candidates):
+                groups = self._models[label].grouped_reference_symbols()
+                bound = None if best == float("inf") else best + self.TIE_TOLERANCE
+                score = dissimilarity_score_grouped(symbols, groups, bound=bound)
+                scores[label] = score
+                if score < best:
+                    best = score
+            tied = sorted(
+                label
+                for label, score in scores.items()
+                if score <= best + self.TIE_TOLERANCE
+            )
+            return tied[0], scores
 
     def _resolve(self, fingerprint: Fingerprint, candidates: list[str]) -> IdentificationResult:
         if not candidates:
+            obs_counter(obs_names.METRIC_IDENTIFICATIONS, outcome="unknown").inc()
             return IdentificationResult(label=UNKNOWN_DEVICE)
+        obs_counter(obs_names.METRIC_IDENTIFICATIONS, outcome="known").inc()
         if len(candidates) == 1:
             return IdentificationResult(label=candidates[0], candidates=tuple(candidates))
         winner, scores = self.discriminate(fingerprint, candidates)
@@ -257,7 +275,14 @@ class DeviceIdentifier:
 
     def identify(self, fingerprint: Fingerprint) -> IdentificationResult:
         """Run the full two-stage pipeline on one fingerprint."""
-        return self._resolve(fingerprint, self.classify(fingerprint))
+        with obs_span(obs_names.SPAN_IDENTIFY) as span:
+            result = self._resolve(fingerprint, self.classify(fingerprint))
+            span.set(
+                label=result.label,
+                candidates=len(result.candidates),
+                discriminated=result.used_discrimination,
+            )
+            return result
 
     def identify_batch(self, fingerprints: list[Fingerprint]) -> list[IdentificationResult]:
         """The full pipeline over many fingerprints (batched stage 1)."""

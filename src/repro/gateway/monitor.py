@@ -5,6 +5,10 @@ has never seen starts talking, it opens a fingerprinting session (Sect.
 IV-A) and collects that device's packets until the setup-phase detector
 fires.  For legacy installations (Sect. VIII-A) the same machinery can be
 pointed at an *already-connected* device to profile its standby traffic.
+
+Instrumented with ``repro.obs``: packets seen, sessions opened/completed
+(labelled by mode) and setup-phase detector fires — the operational
+counters behind the Fig. 6 overhead view; see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ from dataclasses import dataclass
 
 from repro.core.extractor import FingerprintExtractor, SetupPhaseDetector
 from repro.core.fingerprint import Fingerprint
+from repro.obs import counter as obs_counter
+from repro.obs import names as obs_names
 from repro.packets.decoder import DecodedPacket
 
 __all__ = ["MonitorEvent", "DeviceMonitor"]
@@ -91,11 +97,13 @@ class DeviceMonitor:
         self._profiled.discard(mac)
         self._sessions[mac] = FingerprintExtractor(mac, detector=self._detector_factory())
         self._modes[mac] = "standby"
+        obs_counter(obs_names.METRIC_SESSIONS_OPENED, mode="standby").inc()
 
     # --- the observation path ----------------------------------------------
 
     def observe(self, timestamp: float, packet: DecodedPacket) -> MonitorEvent | None:
         """Feed one packet seen by the gateway; may complete a session."""
+        obs_counter(obs_names.METRIC_PACKETS_SEEN).inc()
         mac = packet.src_mac
         if not mac or mac in self._ignore or mac in self._profiled:
             return None
@@ -104,7 +112,9 @@ class DeviceMonitor:
             session = FingerprintExtractor(mac, detector=self._detector_factory())
             self._sessions[mac] = session
             self._modes[mac] = "setup"
+            obs_counter(obs_names.METRIC_SESSIONS_OPENED, mode="setup").inc()
         if session.add(timestamp, packet):
+            obs_counter(obs_names.METRIC_DETECTOR_FIRES).inc()
             return self._complete(mac)
         return None
 
@@ -119,6 +129,7 @@ class DeviceMonitor:
         session = self._sessions.pop(mac)
         mode = self._modes.pop(mac)
         self._profiled.add(mac)
+        obs_counter(obs_names.METRIC_SESSIONS_COMPLETED, mode=mode).inc()
         fingerprint = session.fingerprint()
         return MonitorEvent(
             device_mac=mac,

@@ -21,17 +21,28 @@ here decouple the two concerns:
 Threads rather than processes: the workload is numpy-heavy (releases the
 GIL in the expensive kernels) and the registry / model objects would be
 costly to pickle across process boundaries.
+
+Instrumented with ``repro.obs``: each :func:`parallel_map` call runs in
+a ``parallel.map`` span with one ``parallel.task`` span per item
+(carrying its worker-thread name, from which worker utilisation can be
+computed) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
 import numpy as np
+
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import names as obs_names
+from repro.obs import span as obs_span
 
 __all__ = [
     "derive_entropy",
@@ -123,7 +134,20 @@ def parallel_map(
     """
     work = list(items)
     workers = min(resolve_n_jobs(n_jobs), len(work))
-    if workers <= 1:
-        return [fn(item) for item in work]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, work))
+    obs_gauge(obs_names.METRIC_PARALLEL_WORKERS).set(workers)
+    obs_counter(obs_names.METRIC_PARALLEL_ITEMS).inc(len(work))
+
+    def run(index_item: tuple[int, _T]) -> _R:
+        index, item = index_item
+        with obs_span(
+            obs_names.SPAN_PARALLEL_TASK,
+            index=index,
+            thread=threading.current_thread().name,
+        ):
+            return fn(item)
+
+    with obs_span(obs_names.SPAN_PARALLEL_MAP, workers=workers, items=len(work)):
+        if workers <= 1:
+            return [run(pair) for pair in enumerate(work)]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run, enumerate(work)))

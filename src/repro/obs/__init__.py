@@ -1,0 +1,87 @@
+"""Observability for the identification pipeline: spans, metrics, exporters.
+
+This package is the bottom layer of the tree (below even ``packets``):
+anything may instrument itself with it, and it imports nothing from the
+rest of ``repro``.  See ``docs/observability.md`` for the concept guide,
+the instrumentation-points table (span/metric name → module → paper
+artifact), and an operations walkthrough.
+
+Quick start::
+
+    from repro import obs          # or: from repro.obs import ...
+
+    with obs.use_provider(obs.RecordingProvider()) as provider:
+        identifier.identify(fingerprint)
+
+    print(obs.render_trace_tree(provider.tracer.records()))
+    print(obs.registry_to_prometheus(provider.metrics))
+
+By default the global provider is a no-op whose overhead is a few
+hundred nanoseconds per instrumentation point
+(``benchmarks/bench_obs_overhead.py`` measures it), so the pipeline pays
+essentially nothing until a recording provider is installed.
+"""
+
+from . import names
+from .exporters import (
+    metrics_snapshot,
+    registry_to_prometheus,
+    render_trace_tree,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .provider import (
+    NOOP_PROVIDER,
+    NoopProvider,
+    RecordingProvider,
+    counter,
+    gauge,
+    get_provider,
+    histogram,
+    set_provider,
+    span,
+    traced,
+    use_provider,
+)
+from .spans import Span, SpanRecord, Tracer
+
+__all__ = [
+    "names",
+    # spans
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    # provider
+    "NoopProvider",
+    "RecordingProvider",
+    "NOOP_PROVIDER",
+    "get_provider",
+    "set_provider",
+    "use_provider",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "traced",
+    # exporters
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "registry_to_prometheus",
+    "metrics_snapshot",
+    "render_trace_tree",
+]

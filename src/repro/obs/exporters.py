@@ -1,0 +1,182 @@
+"""Exporters: JSON-lines traces, Prometheus text metrics, test snapshots.
+
+Three consumers, three formats:
+
+* :func:`trace_to_jsonl` / :func:`trace_from_jsonl` — one JSON object per
+  finished span, the durable dump behind the CLI's ``--trace-out`` and
+  the ``iot-sentinel obs`` pretty-printer;
+* :func:`registry_to_prometheus` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` headers, cumulative ``_bucket``/``_sum``/
+  ``_count`` histogram series), a valid scrape body;
+* :func:`metrics_snapshot` — a plain nested dict, the in-memory sink
+  tests assert against without parsing any text format.
+
+All output is deterministic for a given input: families sort by name,
+children by label values, spans keep completion order.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import SpanRecord
+
+__all__ = [
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "registry_to_prometheus",
+    "metrics_snapshot",
+    "render_trace_tree",
+]
+
+
+# --- traces ------------------------------------------------------------------
+
+
+def trace_to_jsonl(records: Iterable[SpanRecord]) -> str:
+    """One compact JSON object per line; ends with a newline when non-empty."""
+    lines = [
+        json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+        for record in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_from_jsonl(text: str) -> list[SpanRecord]:
+    """Parse a :func:`trace_to_jsonl` dump back into records."""
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(SpanRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+    return records
+
+
+def render_trace_tree(records: Iterable[SpanRecord]) -> str:
+    """An indented, human-readable tree of a captured trace.
+
+    Roots (and siblings) appear in start order; each line shows the span
+    name, its duration in milliseconds, and any attributes.  Used by the
+    ``iot-sentinel obs`` subcommand.
+    """
+    records = list(records)
+    children: dict[int | None, list[SpanRecord]] = {}
+    for record in records:
+        children.setdefault(record.parent_id, []).append(record)
+    known_ids = {r.span_id for r in records}
+    # Orphans (parent not in this dump, e.g. worker-thread spans from a
+    # filtered export) render as roots rather than vanishing.
+    roots = [
+        r
+        for r in records
+        if r.parent_id is None or r.parent_id not in known_ids
+    ]
+    for bucket in children.values():
+        bucket.sort(key=lambda r: (r.start, r.span_id))
+    roots.sort(key=lambda r: (r.start, r.span_id))
+
+    lines: list[str] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        attrs = ""
+        if record.attributes:
+            joined = " ".join(
+                f"{k}={v}" for k, v in sorted(record.attributes.items())
+            )
+            attrs = f"  [{joined}]"
+        lines.append(
+            f"{'  ' * depth}{record.name}  {record.duration * 1e3:.3f} ms{attrs}"
+        )
+        for child in children.get(record.span_id, []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+# --- metrics -----------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    out: list[str] = []
+    for family in registry.families():
+        if family.help:
+            out.append(f"# HELP {family.name} {family.help}")
+        out.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.children():
+            if isinstance(child, (Counter, Gauge)):
+                out.append(
+                    f"{family.name}{_labels_text(labels)} {_format_value(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(child.bounds, cumulative):
+                    le = _labels_text(labels, f'le="{_format_value(bound)}"')
+                    out.append(f"{family.name}_bucket{le} {count}")
+                inf = _labels_text(labels, 'le="+Inf"')
+                out.append(f"{family.name}_bucket{inf} {cumulative[-1]}")
+                out.append(
+                    f"{family.name}_sum{_labels_text(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                out.append(f"{family.name}_count{_labels_text(labels)} {child.count}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def metrics_snapshot(registry: MetricsRegistry) -> dict:
+    """A plain-dict view of the registry — the in-memory sink for tests.
+
+    Shape::
+
+        {metric_name: {"kind": ..., "samples": [
+            {"labels": {...}, "value": ...}                   # counter/gauge
+            {"labels": {...}, "sum": ..., "count": ...,
+             "buckets": {bound: cumulative_count, ...}}       # histogram
+        ]}}
+    """
+    snapshot: dict = {}
+    for family in registry.families():
+        samples = []
+        for labels, child in family.children():
+            entry: dict = {"labels": dict(labels)}
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative_counts()
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+                entry["buckets"] = dict(zip(child.bounds, cumulative))
+                entry["buckets"][math.inf] = cumulative[-1]
+            else:
+                entry["value"] = child.value
+            samples.append(entry)
+        snapshot[family.name] = {"kind": family.kind, "samples": samples}
+    return snapshot

@@ -1,0 +1,142 @@
+"""Canonical span and metric names — the single source of truth.
+
+Instrumented modules import these constants instead of spelling string
+literals; ``docs/observability.md``'s instrumentation table documents the
+same set, and ``tools/check_obs_docs.py`` (run in CI) verifies the two
+stay in lockstep in both directions.  Adding an instrumentation point
+therefore means: add the constant here, use it at the call site, and add
+a row to the docs table.
+
+Naming conventions
+------------------
+* **Spans** are dotted paths mirroring the pipeline hierarchy
+  (``identify.classify.model`` nests under ``identify.classify`` nests
+  under ``identify``).
+* **Metrics** follow Prometheus conventions: ``snake_case``, a
+  ``_total`` suffix on counters, base units in the name.  Dots are not
+  legal in Prometheus metric names, so metric names never contain them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    # spans
+    "SPAN_IDENTIFY",
+    "SPAN_CLASSIFY",
+    "SPAN_CLASSIFY_MODEL",
+    "SPAN_DISCRIMINATE",
+    "SPAN_EXTRACT",
+    "SPAN_TRAIN_FIT",
+    "SPAN_TRAIN_TYPE",
+    "SPAN_PARALLEL_MAP",
+    "SPAN_PARALLEL_TASK",
+    "SPAN_SERVICE_REPORT",
+    # metrics
+    "METRIC_PACKETS_SEEN",
+    "METRIC_SESSIONS_OPENED",
+    "METRIC_SESSIONS_COMPLETED",
+    "METRIC_DETECTOR_FIRES",
+    "METRIC_IDENTIFICATIONS",
+    "METRIC_DISCRIMINATIONS",
+    "METRIC_TYPES_TRAINED",
+    "METRIC_PARALLEL_WORKERS",
+    "METRIC_PARALLEL_ITEMS",
+    "METRIC_REPORTS_HANDLED",
+    "METRIC_DIRECTIVES",
+    "METRIC_PACKET_INS",
+    "METRIC_FLOW_MODS",
+    "METRIC_SPAN_DURATION",
+    "SPAN_NAMES",
+    "METRIC_NAMES",
+]
+
+# --- spans -------------------------------------------------------------------
+
+#: One full two-stage identification (Table IV "Type Identification").
+SPAN_IDENTIFY = "identify"
+#: Stage 1: the whole classifier-bank pass (Table IV "27 Classifications").
+SPAN_CLASSIFY = "identify.classify"
+#: One binary Random Forest's vote (Table IV "1 Classification").
+SPAN_CLASSIFY_MODEL = "identify.classify.model"
+#: Stage 2: edit-distance discrimination (Table IV "Discrimination").
+SPAN_DISCRIMINATE = "identify.discriminate"
+#: Packet records -> fingerprint (Table IV "Fingerprint extraction").
+SPAN_EXTRACT = "extract.fingerprint"
+#: Bulk-training the whole classifier bank (``DeviceIdentifier.fit``).
+SPAN_TRAIN_FIT = "train.fit"
+#: Training one device type's binary forest + reference selection.
+SPAN_TRAIN_TYPE = "train.type"
+#: One ``parallel_map`` invocation (serial or thread-pooled).
+SPAN_PARALLEL_MAP = "parallel.map"
+#: One work item inside ``parallel_map`` (carries worker-thread identity).
+SPAN_PARALLEL_TASK = "parallel.task"
+#: One ``IoTSecurityService.handle_report`` round trip.
+SPAN_SERVICE_REPORT = "service.handle_report"
+
+# --- metrics -----------------------------------------------------------------
+
+#: Every frame fed to ``DeviceMonitor.observe`` (Fig. 6 traffic overhead).
+METRIC_PACKETS_SEEN = "monitor_packets_seen_total"
+#: Profiling sessions opened, labelled ``mode="setup"|"standby"``.
+METRIC_SESSIONS_OPENED = "monitor_sessions_opened_total"
+#: Profiling sessions completed, labelled ``mode="setup"|"standby"``.
+METRIC_SESSIONS_COMPLETED = "monitor_sessions_completed_total"
+#: Completions triggered by the setup-phase detector (vs. forced ``flush``).
+METRIC_DETECTOR_FIRES = "monitor_detector_fires_total"
+#: Identifications, labelled ``outcome="known"|"unknown"``.
+METRIC_IDENTIFICATIONS = "identify_identifications_total"
+#: Stage-2 edit-distance tie-breaks (the Table III multi-match cases).
+METRIC_DISCRIMINATIONS = "identify_discriminations_total"
+#: Device-type classifiers trained (fit + incremental add_type).
+METRIC_TYPES_TRAINED = "train_types_trained_total"
+#: Worker-pool width of the most recent ``parallel_map`` call.
+METRIC_PARALLEL_WORKERS = "parallel_map_workers"
+#: Work items executed through ``parallel_map``.
+METRIC_PARALLEL_ITEMS = "parallel_map_items_total"
+#: Fingerprint reports handled by the IoTSSP.
+METRIC_REPORTS_HANDLED = "service_reports_handled_total"
+#: Isolation directives issued, labelled ``level`` (Fig. 3 levels).
+METRIC_DIRECTIVES = "service_directives_total"
+#: Packet-in events punted to the controller (Fig. 6b/c CPU/memory driver).
+METRIC_PACKET_INS = "sdn_packet_ins_total"
+#: Flow-mods sent to the switch, labelled ``command="add"|"delete"`` (Fig. 6a).
+METRIC_FLOW_MODS = "sdn_flow_mods_total"
+#: Histogram of finished-span durations, labelled ``span=<span name>``;
+#: recorded automatically by the recording provider.
+METRIC_SPAN_DURATION = "span_duration_seconds"
+
+#: Every canonical span name (checked against the docs table by CI).
+SPAN_NAMES = frozenset(
+    {
+        SPAN_IDENTIFY,
+        SPAN_CLASSIFY,
+        SPAN_CLASSIFY_MODEL,
+        SPAN_DISCRIMINATE,
+        SPAN_EXTRACT,
+        SPAN_TRAIN_FIT,
+        SPAN_TRAIN_TYPE,
+        SPAN_PARALLEL_MAP,
+        SPAN_PARALLEL_TASK,
+        SPAN_SERVICE_REPORT,
+    }
+)
+
+#: Every canonical metric name (checked against the docs table by CI).
+METRIC_NAMES = frozenset(
+    {
+        METRIC_PACKETS_SEEN,
+        METRIC_SESSIONS_OPENED,
+        METRIC_SESSIONS_COMPLETED,
+        METRIC_DETECTOR_FIRES,
+        METRIC_IDENTIFICATIONS,
+        METRIC_DISCRIMINATIONS,
+        METRIC_TYPES_TRAINED,
+        METRIC_PARALLEL_WORKERS,
+        METRIC_PARALLEL_ITEMS,
+        METRIC_REPORTS_HANDLED,
+        METRIC_DIRECTIVES,
+        METRIC_PACKET_INS,
+        METRIC_FLOW_MODS,
+        METRIC_SPAN_DURATION,
+    }
+)

@@ -1,0 +1,226 @@
+"""The global observability provider: no-op by default, recording on demand.
+
+Instrumented modules call the module-level helpers (:func:`span`,
+:func:`counter`, :func:`gauge`, :func:`histogram`) which delegate to the
+*current* provider.  Out of the box that is the :data:`NOOP_PROVIDER` —
+singleton do-nothing objects, no allocation beyond the keyword dict at
+the call site — so an uninstrumented run pays near-zero overhead
+(guarded by ``benchmarks/bench_obs_overhead.py``).
+
+Enable collection by installing a :class:`RecordingProvider`::
+
+    from repro.obs import RecordingProvider, use_provider
+
+    provider = RecordingProvider()
+    with use_provider(provider):
+        identifier.identify(fingerprint)
+    provider.tracer.records()      # finished spans
+    provider.metrics.families()    # counters / gauges / histograms
+
+``use_provider`` restores the previous provider on exit, so scopes nest;
+``set_provider`` installs one for the life of the process (the CLI's
+``--trace-out``/``--metrics-out`` path).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from functools import wraps
+
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .names import METRIC_SPAN_DURATION
+from .spans import SpanRecord, Tracer
+
+__all__ = [
+    "NoopProvider",
+    "RecordingProvider",
+    "NOOP_PROVIDER",
+    "get_provider",
+    "set_provider",
+    "use_provider",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "traced",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span; safe to reuse because it holds no state."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NoopSpan":
+        return self
+
+
+class _NoopCounter:
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NoopGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NoopHistogram:
+    __slots__ = ()
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP_COUNTER = _NoopCounter()
+_NOOP_GAUGE = _NoopGauge()
+_NOOP_HISTOGRAM = _NoopHistogram()
+
+
+class NoopProvider:
+    """Default provider: every instrument is an inert singleton."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def counter(self, name: str, **labels: str) -> _NoopCounter:
+        return _NOOP_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> _NoopGauge:
+        return _NOOP_GAUGE
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str
+    ) -> _NoopHistogram:
+        return _NOOP_HISTOGRAM
+
+
+class RecordingProvider:
+    """Collects spans into a :class:`Tracer` and metrics into a registry.
+
+    Parameters
+    ----------
+    clock:
+        Injected monotonic clock shared by all spans (tests pass a fake).
+    record_span_durations:
+        When True (default), every finished span's duration is also fed
+        into the :data:`~repro.obs.names.METRIC_SPAN_DURATION` histogram
+        labelled with the span name — per-step latency distributions for
+        free, without extra instrumentation.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        record_span_durations: bool = True,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        on_finish = self._record_duration if record_span_durations else None
+        self.tracer = Tracer(clock=clock, on_finish=on_finish)
+
+    def _record_duration(self, record: SpanRecord) -> None:
+        self.metrics.histogram(METRIC_SPAN_DURATION, span=record.name).observe(
+            record.duration
+        )
+
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str
+    ) -> Histogram:
+        return self.metrics.histogram(name, buckets=buckets, **labels)
+
+
+#: The process-default provider (never replaced, only shadowed).
+NOOP_PROVIDER = NoopProvider()
+
+_provider = NOOP_PROVIDER
+
+
+def get_provider():
+    """The currently installed provider."""
+    return _provider
+
+
+def set_provider(provider):
+    """Install ``provider`` globally; returns the one it replaced."""
+    global _provider
+    previous = _provider
+    _provider = provider
+    return previous
+
+
+@contextmanager
+def use_provider(provider):
+    """Install ``provider`` for the duration of a ``with`` block."""
+    previous = set_provider(provider)
+    try:
+        yield provider
+    finally:
+        set_provider(previous)
+
+
+# --- call-site helpers (always read the *current* provider) ------------------
+
+
+def span(name: str, **attributes):
+    """A span from the current provider — ``with obs.span("identify"): ...``."""
+    return _provider.span(name, **attributes)
+
+
+def counter(name: str, **labels: str):
+    return _provider.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str):
+    return _provider.gauge(name, **labels)
+
+
+def histogram(name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str):
+    return _provider.histogram(name, buckets=buckets, **labels)
+
+
+def traced(name: str, **attributes):
+    """Decorator form: run the wrapped callable inside a span."""
+
+    def decorate(fn):
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _provider.span(name, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -5,6 +5,11 @@ the vulnerability repository and the endpoint directory into the single
 operation the Security Gateway consumes: fingerprint in, isolation
 directive out.  New device types can be enrolled at runtime without
 retraining existing classifiers (the paper's scalability property).
+
+Instrumented with ``repro.obs``: each :meth:`~IoTSecurityService.handle_report`
+runs in a ``service.handle_report`` span, with counters for reports
+handled and directives issued per isolation level — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -16,6 +21,9 @@ import numpy as np
 from repro.core.fingerprint import Fingerprint
 from repro.core.identifier import DeviceIdentifier
 from repro.core.registry import DeviceTypeRegistry
+from repro.obs import counter as obs_counter
+from repro.obs import names as obs_names
+from repro.obs import span as obs_span
 
 from .assessment import Assessment, assess_device_type
 from .incidents import IncidentAggregator, IncidentReport
@@ -95,12 +103,18 @@ class IoTSecurityService:
         Deliberately ignores ``report.gateway_id`` beyond transport needs:
         the service stores nothing about its clients (Sect. III-B).
         """
-        self.reports_handled += 1
-        result = self.identifier.identify(report.fingerprint)
-        assessment = self.assess_type(result.label)
-        return IsolationDirective(
-            device_type=result.label,
-            level=assessment.level,
-            permitted_endpoints=assessment.permitted_endpoints,
-            vulnerability_ids=assessment.vulnerability_ids,
-        )
+        with obs_span(obs_names.SPAN_SERVICE_REPORT) as span:
+            self.reports_handled += 1
+            obs_counter(obs_names.METRIC_REPORTS_HANDLED).inc()
+            result = self.identifier.identify(report.fingerprint)
+            assessment = self.assess_type(result.label)
+            obs_counter(
+                obs_names.METRIC_DIRECTIVES, level=assessment.level.value
+            ).inc()
+            span.set(device_type=result.label, level=assessment.level.value)
+            return IsolationDirective(
+                device_type=result.label,
+                level=assessment.level,
+                permitted_endpoints=assessment.permitted_endpoints,
+                vulnerability_ids=assessment.vulnerability_ids,
+            )

@@ -1,0 +1,114 @@
+"""Counter/gauge/histogram semantics and the registry's family model."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1.0)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(4)
+        g.add(-1.5)
+        assert g.value == pytest.approx(2.5)
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive_upper_bounds(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)   # exactly on a bound -> that bucket (value <= bound)
+        h.observe(1.5)
+        h.observe(5.0)   # beyond the last bound -> +Inf bucket
+        assert h.bucket_counts() == [1, 1, 1]
+        assert h.cumulative_counts() == [1, 2, 3]
+        assert h.sum == pytest.approx(7.5)
+        assert h.count == 3
+
+    def test_bounds_sorted_at_construction(self):
+        h = Histogram(buckets=(2.0, 0.5, 1.0))
+        assert h.bounds == (0.5, 1.0, 2.0)
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+
+    def test_default_buckets_are_sorted_latency_shaped(self):
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+        assert DEFAULT_BUCKETS[0] == pytest.approx(0.0001)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(10.0)
+
+
+class TestRegistry:
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", mode="setup")
+        b = registry.counter("hits_total", mode="setup")
+        c = registry.counter("hits_total", mode="standby")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", a="1", b="2")
+        b = registry.counter("hits_total", b="2", a="1")
+        assert a is b
+
+    def test_unlabelled_child_is_distinct(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits_total") is not registry.counter(
+            "hits_total", mode="setup"
+        )
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("thing_total")
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("no.dots.allowed")
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("hits_total", **{"bad-label": "x"})
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("zeta")
+        registry.counter("alpha_total")
+        assert [f.name for f in registry.families()] == ["alpha_total", "zeta"]
+
+    def test_get_unknown_family_is_none(self):
+        assert MetricsRegistry().get("missing") is None
+
+    def test_histogram_child_uses_requested_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", buckets=(0.5, 1.0))
+        assert h.bounds == (0.5, 1.0)

@@ -1,0 +1,122 @@
+"""The global provider contract: no-op by default, scoped recording."""
+
+import pytest
+
+from repro.obs import (
+    NOOP_PROVIDER,
+    RecordingProvider,
+    counter,
+    gauge,
+    get_provider,
+    histogram,
+    names,
+    set_provider,
+    span,
+    use_provider,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0, step: float = 0.5) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestNoopProvider:
+    def test_noop_is_the_default(self):
+        assert get_provider() is NOOP_PROVIDER
+        assert NOOP_PROVIDER.enabled is False
+
+    def test_instruments_are_shared_singletons(self):
+        assert NOOP_PROVIDER.span("a") is NOOP_PROVIDER.span("b", k=1)
+        assert NOOP_PROVIDER.counter("x_total") is NOOP_PROVIDER.counter("y_total")
+        assert NOOP_PROVIDER.gauge("x") is NOOP_PROVIDER.gauge("y")
+        assert NOOP_PROVIDER.histogram("x") is NOOP_PROVIDER.histogram("y")
+
+    def test_noop_instruments_accept_the_full_api(self):
+        with span("op", batch=1) as s:
+            s.set(label="Aria")
+        counter("x_total").inc(3)
+        gauge("x").set(2)
+        gauge("x").add(-1)
+        histogram("x_seconds").observe(0.1)
+        # Nothing anywhere records anything; values stay at their zeros.
+        assert counter("x_total").value == 0.0
+        assert histogram("x_seconds").count == 0
+
+
+class TestProviderInstallation:
+    def test_use_provider_scopes_and_restores(self):
+        provider = RecordingProvider(record_span_durations=False)
+        with use_provider(provider) as installed:
+            assert installed is provider
+            assert get_provider() is provider
+        assert get_provider() is NOOP_PROVIDER
+
+    def test_use_provider_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_provider(RecordingProvider()):
+                raise RuntimeError("boom")
+        assert get_provider() is NOOP_PROVIDER
+
+    def test_use_provider_nests(self):
+        outer = RecordingProvider(record_span_durations=False)
+        inner = RecordingProvider(record_span_durations=False)
+        with use_provider(outer):
+            with use_provider(inner):
+                with span("inner.op"):
+                    pass
+            with span("outer.op"):
+                pass
+        assert [r.name for r in inner.tracer.records()] == ["inner.op"]
+        assert [r.name for r in outer.tracer.records()] == ["outer.op"]
+
+    def test_set_provider_returns_previous(self):
+        provider = RecordingProvider()
+        previous = set_provider(provider)
+        try:
+            assert previous is NOOP_PROVIDER
+            assert get_provider() is provider
+        finally:
+            set_provider(previous)
+
+    def test_module_helpers_read_the_current_provider(self):
+        # `span`/`counter` were imported before the provider was installed;
+        # they must still see it (no binding at import time).
+        provider = RecordingProvider(clock=FakeClock(), record_span_durations=False)
+        with use_provider(provider):
+            with span("late.binding"):
+                pass
+            counter("late_total").inc()
+        assert provider.tracer.records_named("late.binding")
+        assert provider.metrics.counter("late_total").value == 1.0
+
+
+class TestRecordingProvider:
+    def test_span_durations_feed_the_bridge_histogram(self):
+        provider = RecordingProvider(clock=FakeClock(step=0.5))
+        with use_provider(provider):
+            with span("op"):
+                pass
+        family = provider.metrics.get(names.METRIC_SPAN_DURATION)
+        assert family is not None and family.kind == "histogram"
+        ((labels, child),) = family.children()
+        assert dict(labels) == {"span": "op"}
+        assert child.count == 1
+        assert child.sum == pytest.approx(0.5)
+
+    def test_duration_bridge_can_be_disabled(self):
+        provider = RecordingProvider(record_span_durations=False)
+        with use_provider(provider):
+            with span("op"):
+                pass
+        assert provider.metrics.get(names.METRIC_SPAN_DURATION) is None
+        assert provider.tracer.records_named("op")
+
+    def test_enabled_flag(self):
+        assert RecordingProvider().enabled is True

@@ -1,0 +1,161 @@
+"""Span and tracer behaviour under a deterministic fake clock."""
+
+import threading
+
+import pytest
+
+from repro.obs import RecordingProvider, traced, use_provider
+from repro.obs.spans import SpanRecord, Tracer, index_by_id
+
+
+class FakeClock:
+    """Monotonic clock advancing by a fixed step per read."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.25) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestSpanBasics:
+    def test_duration_comes_from_injected_clock(self, tracer):
+        with tracer.span("op"):
+            pass
+        (record,) = tracer.records()
+        assert record.name == "op"
+        assert record.start == 100.0
+        assert record.duration == pytest.approx(0.25)
+
+    def test_attributes_from_kwargs_and_set(self, tracer):
+        with tracer.span("op", batch=4) as span:
+            span.set(label="Aria", extra=1)
+        (record,) = tracer.records()
+        assert record.attributes == {"batch": 4, "label": "Aria", "extra": 1}
+
+    def test_exception_recorded_with_error_attribute(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        (record,) = tracer.records()
+        assert record.attributes["error"] == "RuntimeError"
+        assert record.duration == pytest.approx(0.25)
+
+    def test_explicit_error_attribute_wins(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("op", error="custom"):
+                raise ValueError("boom")
+        (record,) = tracer.records()
+        assert record.attributes["error"] == "custom"
+
+
+class TestNesting:
+    def test_child_records_parent_id(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        child, parent = tracer.records()  # completion order: child first
+        assert parent.name == "parent" and parent.parent_id is None
+        assert child.parent_id == parent.span_id
+        assert [r.name for r in tracer.children_of(parent.span_id)] == ["child"]
+
+    def test_siblings_share_a_parent(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["a"].parent_id == by_name["parent"].span_id
+        assert by_name["b"].parent_id == by_name["parent"].span_id
+        assert by_name["a"].span_id != by_name["b"].span_id
+
+    def test_worker_thread_spans_start_fresh_trees(self, tracer):
+        def work():
+            with tracer.span("worker"):
+                pass
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["worker"].parent_id is None
+        assert by_name["worker"].span_id != by_name["main"].span_id
+
+
+class TestTracerQueries:
+    def test_records_named_and_durations(self, tracer):
+        for _ in range(3):
+            with tracer.span("hot"):
+                pass
+        with tracer.span("cold"):
+            pass
+        assert len(tracer.records_named("hot")) == 3
+        assert tracer.durations("hot") == [pytest.approx(0.25)] * 3
+        assert tracer.durations("missing") == []
+
+    def test_clear_drops_records_but_not_ids(self, tracer):
+        with tracer.span("a"):
+            pass
+        first_id = tracer.records()[0].span_id
+        tracer.clear()
+        assert tracer.records() == []
+        with tracer.span("b"):
+            pass
+        assert tracer.records()[0].span_id > first_id
+
+    def test_on_finish_callback_sees_every_record(self):
+        seen = []
+        tracer = Tracer(clock=FakeClock(), on_finish=seen.append)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r.name for r in seen] == ["b", "a"]
+
+
+class TestSpanRecord:
+    def test_dict_roundtrip(self):
+        record = SpanRecord(
+            name="op", span_id=7, parent_id=3, start=1.0, duration=0.5,
+            attributes={"k": "v"},
+        )
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_defaults_optional_fields(self):
+        record = SpanRecord.from_dict(
+            {"name": "op", "span_id": 1, "start": 0.0, "duration": 0.1}
+        )
+        assert record.parent_id is None
+        assert record.attributes == {}
+
+    def test_index_by_id_is_readonly(self):
+        record = SpanRecord(name="op", span_id=1, parent_id=None, start=0.0, duration=0.0)
+        index = index_by_id([record])
+        assert index[1] is record
+        with pytest.raises(TypeError):
+            index[2] = record
+
+
+class TestTracedDecorator:
+    def test_traced_wraps_call_in_a_span(self):
+        provider = RecordingProvider(clock=FakeClock(), record_span_durations=False)
+
+        @traced("decorated.op", kind="test")
+        def double(x):
+            return 2 * x
+
+        with use_provider(provider):
+            assert double(21) == 42
+        (record,) = provider.tracer.records()
+        assert record.name == "decorated.op"
+        assert record.attributes == {"kind": "test"}
+        assert double.__name__ == "double"

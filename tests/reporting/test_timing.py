@@ -1,0 +1,65 @@
+"""Table IV timing harness: span sourcing, trials validation, ± convention."""
+
+import pytest
+
+from repro.obs import NOOP_PROVIDER, get_provider
+from repro.reporting import TimingRow, measure_identification_timing
+from repro.reporting.timing import _stats
+
+
+class TestTrialsValidation:
+    @pytest.mark.parametrize("trials", [1, 0, -3])
+    def test_fewer_than_two_trials_rejected_up_front(
+        self, small_registry, small_identifier, trials
+    ):
+        with pytest.raises(ValueError, match="trials must be >= 2"):
+            measure_identification_timing(
+                small_registry, small_identifier, trials=trials, seed=1
+            )
+
+    def test_stats_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="at least 2 samples"):
+            _stats([0.5])
+
+
+class TestMinimalRun:
+    def test_two_trials_produce_the_full_table(
+        self, small_registry, small_identifier
+    ):
+        rows = measure_identification_timing(
+            small_registry, small_identifier, trials=2, seed=4
+        )
+        assert len(rows) == 6
+        steps = [row.step for row in rows]
+        n = len(small_registry.labels)
+        assert steps == [
+            "1 Classification (Random Forest)",
+            "1 Discrimination (edit distance)",
+            "Fingerprint extraction",
+            f"{n} Classifications (Random Forest)",
+            "Discriminations (edit distance, avg case)",
+            "Type Identification",
+        ]
+        for row in rows:
+            assert row.mean_ms >= 0.0
+            assert row.std_ms >= 0.0
+
+    def test_measurement_leaves_the_global_provider_alone(
+        self, small_registry, small_identifier
+    ):
+        measure_identification_timing(
+            small_registry, small_identifier, trials=2, seed=4
+        )
+        assert get_provider() is NOOP_PROVIDER
+
+
+class TestPresentation:
+    def test_row_renders_mean_and_plus_minus_std(self):
+        row = TimingRow(step="Type Identification", mean_ms=1.25, std_ms=0.5)
+        assert str(row) == "Type Identification: 1.250 ms (±0.500)"
+
+    def test_stats_use_sample_std(self):
+        # Sample std (ddof=1) of {1ms, 3ms} is sqrt(2) ms, not 1 ms.
+        mean, std = _stats([0.001, 0.003])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(2.0**0.5)

@@ -1,0 +1,110 @@
+"""Docs-consistency checker: the live repo passes, synthetic drift fails."""
+
+from pathlib import Path
+
+from tools.check_obs_docs import (
+    check,
+    declared_names,
+    documented_names,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOCS_TEMPLATE = """# Observability
+
+## Instrumentation points
+
+| Name | Module |
+| --- | --- |
+| `identify` | `repro.core.identifier` |
+| `hits_total` | `repro.gateway.monitor` |
+
+## Something else
+
+| `not.counted` | this table is outside the section |
+"""
+
+NAMES_TEMPLATE = '''"""names"""
+SPAN_IDENTIFY = "identify"
+METRIC_HITS = "hits_total"
+SPAN_NAMES = frozenset({SPAN_IDENTIFY})
+METRIC_NAMES = frozenset({METRIC_HITS})
+OTHER = "not a tracked constant"
+'''
+
+
+def write_repo(root: Path, docs: str = DOCS_TEMPLATE, names: str = NAMES_TEMPLATE,
+               usage: str = "SPAN_IDENTIFY METRIC_HITS") -> Path:
+    (root / "docs").mkdir(parents=True)
+    (root / "docs" / "observability.md").write_text(docs)
+    obs = root / "src" / "repro" / "obs"
+    obs.mkdir(parents=True)
+    (obs / "names.py").write_text(names)
+    (root / "src" / "repro" / "user.py").write_text(f"# uses: {usage}\n")
+    return root
+
+
+class TestLiveRepo:
+    def test_repo_docs_and_source_agree(self):
+        assert check(REPO_ROOT) == []
+
+    def test_main_exit_code_zero(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        assert "agree" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_documented_names_scopes_to_the_section(self):
+        names = documented_names(DOCS_TEMPLATE)
+        assert names == {"identify", "hits_total"}  # not.counted excluded
+
+    def test_header_and_separator_rows_ignored(self):
+        text = "## Instrumentation points\n| `Name` | m |\n| `---` | - |\n| `x` | m |\n"
+        assert documented_names(text) == {"x"}
+
+    def test_declared_names_skips_aggregates_and_others(self):
+        assert declared_names(NAMES_TEMPLATE) == {
+            "SPAN_IDENTIFY": "identify",
+            "METRIC_HITS": "hits_total",
+        }
+
+
+class TestDrift:
+    def test_documented_but_not_declared(self, tmp_path):
+        docs = DOCS_TEMPLATE.replace(
+            "| `hits_total` |", "| `hits_total` |\n| `ghost.span` |"
+        )
+        write_repo(tmp_path, docs=docs)
+        problems = check(tmp_path)
+        assert any("'ghost.span'" in p and "not declared" in p for p in problems)
+
+    def test_declared_but_not_documented(self, tmp_path):
+        names = NAMES_TEMPLATE + 'SPAN_SECRET = "secret.span"\n'
+        write_repo(tmp_path, names=names,
+                   usage="SPAN_IDENTIFY METRIC_HITS SPAN_SECRET")
+        problems = check(tmp_path)
+        assert any(
+            "'secret.span'" in p and "missing from" in p for p in problems
+        )
+
+    def test_declared_but_never_used(self, tmp_path):
+        write_repo(tmp_path, usage="SPAN_IDENTIFY")  # METRIC_HITS unreferenced
+        problems = check(tmp_path)
+        assert any("METRIC_HITS" in p and "dead" in p for p in problems)
+
+    def test_renamed_section_is_reported(self, tmp_path):
+        docs = DOCS_TEMPLATE.replace("## Instrumentation points", "## Renamed")
+        write_repo(tmp_path, docs=docs)
+        problems = check(tmp_path)
+        assert any("no names parsed" in p for p in problems)
+
+    def test_clean_synthetic_repo_passes(self, tmp_path):
+        write_repo(tmp_path)
+        assert check(tmp_path) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        write_repo(tmp_path, usage="SPAN_IDENTIFY")
+        assert main(["--root", str(tmp_path)]) == 1
+        assert "dead" in capsys.readouterr().err
+        assert main(["--root", str(tmp_path / "nowhere")]) == 2

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Docs-consistency check for the observability instrumentation table.
+
+``docs/observability.md`` documents every span and metric name in its
+"Instrumentation points" tables; ``src/repro/obs/names.py`` declares the
+same names as constants that instrumented call sites import.  Docs rot
+silently, so CI runs this script to enforce the round trip:
+
+1. every name documented in the table exists as a constant in
+   ``names.py``;
+2. every constant in ``names.py`` has a row in the table;
+3. every constant is actually *used* — referenced somewhere under
+   ``src/repro`` outside ``names.py`` itself.
+
+Stdlib-only, like the rest of the repo's tooling.  Exit codes follow
+sentinel-lint: 0 consistent, 1 drift found, 2 usage/I-O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+DOCS_PATH = Path("docs/observability.md")
+NAMES_PATH = Path("src/repro/obs/names.py")
+SOURCE_ROOT = Path("src/repro")
+
+#: The docs section whose tables are authoritative.
+SECTION_HEADING = "## Instrumentation points"
+
+#: First table cell: a single backticked name.
+_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+#: Constants that hold one canonical name (not the aggregate frozensets).
+_CONST_RE = re.compile(r"^(SPAN|METRIC)_[A-Z0-9_]+$")
+_AGGREGATES = frozenset({"SPAN_NAMES", "METRIC_NAMES"})
+
+
+def documented_names(md_text: str) -> set[str]:
+    """Backticked first-column names from the instrumentation tables."""
+    names: set[str] = set()
+    in_section = False
+    for line in md_text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == SECTION_HEADING
+            continue
+        if not in_section:
+            continue
+        match = _ROW_RE.match(line)
+        if match:
+            name = match.group(1).strip()
+            if name.lower() not in ("name", "---"):
+                names.add(name)
+    return names
+
+
+def declared_names(py_text: str) -> dict[str, str]:
+    """``constant identifier -> name string`` from ``names.py``."""
+    tree = ast.parse(py_text)
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id in _AGGREGATES or not _CONST_RE.match(target.id):
+            continue
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+            out[target.id] = node.value.value
+    return out
+
+
+def unused_constants(constants: dict[str, str], root: Path) -> list[str]:
+    """Constant identifiers never referenced under src/repro (sans names.py)."""
+    sources = []
+    for path in sorted((root / SOURCE_ROOT).rglob("*.py")):
+        if path.resolve() == (root / NAMES_PATH).resolve():
+            continue
+        sources.append(path.read_text(encoding="utf-8"))
+    blob = "\n".join(sources)
+    return sorted(const for const in constants if const not in blob)
+
+
+def check(root: Path) -> list[str]:
+    """All drift messages for the repo at ``root`` (empty = consistent)."""
+    md_text = (root / DOCS_PATH).read_text(encoding="utf-8")
+    py_text = (root / NAMES_PATH).read_text(encoding="utf-8")
+    documented = documented_names(md_text)
+    constants = declared_names(py_text)
+    declared = set(constants.values())
+
+    problems = []
+    for name in sorted(documented - declared):
+        problems.append(
+            f"documented in {DOCS_PATH} but not declared in {NAMES_PATH}: {name!r}"
+        )
+    for name in sorted(declared - documented):
+        problems.append(
+            f"declared in {NAMES_PATH} but missing from the {DOCS_PATH} "
+            f"instrumentation table: {name!r}"
+        )
+    for const in unused_constants(constants, root):
+        problems.append(
+            f"{NAMES_PATH}:{const} ({constants[const]!r}) is referenced nowhere "
+            f"under {SOURCE_ROOT} — dead instrumentation name"
+        )
+    if not documented:
+        problems.append(
+            f"no names parsed from the {SECTION_HEADING!r} tables in {DOCS_PATH} "
+            "— section renamed or table format changed?"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    try:
+        problems = check(root)
+    except OSError as exc:
+        print(f"check_obs_docs: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"check_obs_docs: cannot parse {NAMES_PATH}: {exc}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(f"check_obs_docs: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("check_obs_docs: docs and source agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,8 @@
 The architecture is a strict layering (see
 :data:`tools.sentinel_lint.config.LAYERS`)::
 
-    packets → ml → core → {devices, sdn} → {labtools, securityservice}
-            → gateway → {attacks, netsim} → reporting → cli
+    obs → packets → ml → core → {devices, sdn} → {labtools, securityservice}
+        → gateway → {attacks, netsim} → reporting → cli
 
 A module may import ``repro`` packages from strictly *lower* layers and
 from its own package.  Importing upward couples the identification core

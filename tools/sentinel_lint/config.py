@@ -101,8 +101,12 @@ DIMENSION_LITERALS: dict[int, tuple[str, tuple[str, ...]]] = {
 #: and upward imports are violations.  This refines the conceptual chain
 #: ``packets → core → ml-consumers → securityservice/sdn → gateway``:
 #: ``ml`` sits *below* ``core`` because the two-stage identifier is built
-#: on the generic ML substrate, not the other way around.
+#: on the generic ML substrate, not the other way around.  ``obs`` is the
+#: very bottom: cross-cutting instrumentation that anything may import
+#: and that itself imports nothing from ``repro``.  The prose rendering
+#: of this DAG lives in ``docs/architecture.md``.
 LAYERS: tuple[frozenset[str], ...] = (
+    frozenset({"obs"}),
     frozenset({"packets"}),
     frozenset({"ml"}),
     frozenset({"core"}),
