@@ -9,6 +9,9 @@ Subcommands mirror the operational workflow:
 * ``identify`` — identify the device in a pcap with a trained model
 * ``evaluate`` — cross-validate a corpus and print per-type accuracy
 * ``obs``      — pretty-print a trace captured with ``--trace-out``
+* ``faultsim`` — drive the gateway pipeline through a scripted IoTSSP
+  outage (retries, circuit breaker, degraded-mode quarantine; see
+  ``docs/robustness.md``)
 
 ``train`` and ``identify`` accept ``--trace-out``/``--metrics-out`` to
 capture the run's spans (JSON-lines) and metrics (Prometheus text) — see
@@ -277,6 +280,149 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    """Full gateway pipeline under a scripted IoTSSP outage.
+
+    A device joins, its setup is profiled, and the first ``--fail-submits``
+    report submissions fail.  The device must land in provisional STRICT
+    quarantine, then recover to the service's real directive via the
+    periodic retry sweeps — with zero lost reports.  Exit status 1 if it
+    does not (this is CI's fault-injection smoke check).
+    """
+    import json as _json
+
+    from repro.gateway import SecurityGateway
+    from repro.packets import builder
+    from repro.sdn import IsolationLevel
+    from repro.securityservice import (
+        CircuitBreaker,
+        DirectTransport,
+        FaultInjectingTransport,
+        IsolationDirective,
+        ManualClock,
+        ResilientTransport,
+        RetryPolicy,
+    )
+
+    class _CannedService:
+        """Stands in for the trained IoTSSP: always identifies the device."""
+
+        def __init__(self) -> None:
+            self.reports = 0
+
+        def handle_report(self, report):
+            self.reports += 1
+            return IsolationDirective(device_type="demo-device", level=IsolationLevel.TRUSTED)
+
+    clock = ManualClock()
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay=args.base_delay,
+        multiplier=args.multiplier,
+        max_delay=args.max_delay,
+        jitter=args.jitter,
+        attempt_timeout=args.attempt_timeout,
+    )
+    breaker = CircuitBreaker(
+        failure_threshold=args.breaker_threshold, reset_timeout=args.breaker_reset
+    )
+    service = _CannedService()
+    faulty = FaultInjectingTransport.failing(
+        DirectTransport(service), args.fail_submits, clock=clock
+    )
+    transport = ResilientTransport(
+        faulty, policy=policy, seed=args.seed, clock=clock, breaker=breaker
+    )
+
+    mac = "aa:00:00:00:00:01"
+    ip = "192.168.1.20"
+    timeline: list[tuple[float, str]] = []
+    with _observed(args):
+        gateway = SecurityGateway(transport)
+        gateway.attach_device(mac)
+        frames = [
+            builder.dhcp_discover_frame(mac, 1, "demo"),
+            builder.arp_probe_frame(mac, ip),
+            builder.arp_announce_frame(mac, ip),
+            builder.dns_query_frame(mac, gateway.gateway_mac, ip, "192.168.1.1", "c.example"),
+            builder.https_client_hello_frame(mac, gateway.gateway_mac, ip, "52.10.0.1", "c.example"),
+        ]
+        now = 0.0
+        for frame in frames:
+            gateway.process_frame(mac, frame, now)
+            now += 0.3
+        # The idle gap closes the profiling session on the next packet,
+        # which triggers the (failing) submit inside the pipeline.
+        now += 30.0
+        gateway.process_frame(mac, builder.arp_announce_frame(mac, ip), now)
+        first = gateway.directive_for(mac)
+        timeline.append(
+            (now, f"profiled: level={first.level.value} type={first.device_type} "
+                  f"provisional={first.provisional}")
+        )
+        sweeps_used = 0
+        for sweep in range(1, args.sweeps + 1):
+            final = gateway.directive_for(mac)
+            if final is not None and not final.provisional:
+                break
+            now += args.sweep_interval
+            sweeps_used = sweep
+            changed = gateway.refresh_directives(now)
+            queue = len(gateway.sentinel.pending_reports)
+            if changed:
+                upgraded = gateway.directive_for(mac)
+                timeline.append(
+                    (now, f"sweep {sweep}: recovered -> level={upgraded.level.value} "
+                          f"type={upgraded.device_type}; flow rules flushed")
+                )
+            else:
+                timeline.append(
+                    (now, f"sweep {sweep}: still degraded (queue depth {queue}, "
+                          f"breaker {transport.breaker.state.value})")
+                )
+
+    final = gateway.directive_for(mac)
+    ok = (
+        final is not None
+        and not final.provisional
+        and not gateway.sentinel.pending_reports
+        and service.reports >= 1
+    )
+    summary = {
+        "ok": ok,
+        "fail_submits": args.fail_submits,
+        "seed": args.seed,
+        "first_directive_provisional": bool(first.provisional),
+        "final_level": final.level.value if final else None,
+        "final_type": final.device_type if final else None,
+        "sweeps_used": sweeps_used,
+        "submits": transport.submits,
+        "attempts": transport.attempts,
+        "faults_injected": faulty.faults_injected,
+        "retry_schedule": [round(d, 6) for d in transport.backoff_log],
+        "breaker_transitions": [
+            {"from": old.value, "to": new.value, "at": round(at, 3)}
+            for old, new, at in transport.breaker.transitions
+        ],
+        "pending_reports": len(gateway.sentinel.pending_reports),
+        "reports_accepted": service.reports,
+    }
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+    else:
+        for at, message in timeline:
+            print(f"t={at:8.2f}  {message}")
+        print()
+        print(f"retry schedule (seed={args.seed}): "
+              + ", ".join(f"{d:.3f}s" for d in transport.backoff_log))
+        for old, new, at in transport.breaker.transitions:
+            print(f"breaker: {old.value} -> {new.value} at t={at:.2f}")
+        print(f"submits={transport.submits} attempts={transport.attempts} "
+              f"faults={faulty.faults_injected} accepted={service.reports}")
+        print("outcome: " + ("recovered, zero lost reports" if ok else "NOT recovered"))
+    return 0 if ok else 1
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     registry = load_registry(args.corpus)
     result = crossvalidate_identification(
@@ -365,6 +511,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--trace", required=True, help="JSON-lines trace from --trace-out")
     p_obs.add_argument("--span", default=None, help="show only spans with this name")
 
+    p_fault = sub.add_parser(
+        "faultsim", help="run the gateway pipeline through a scripted IoTSSP outage"
+    )
+    p_fault.add_argument(
+        "--fail-submits", type=int, default=6,
+        help="number of report submissions that fail before the service recovers",
+    )
+    p_fault.add_argument("--seed", type=int, default=0, help="backoff-jitter seed")
+    p_fault.add_argument("--max-attempts", type=int, default=3, help="tries per submit call")
+    p_fault.add_argument("--base-delay", type=float, default=0.5, help="first backoff, seconds")
+    p_fault.add_argument("--multiplier", type=float, default=2.0, help="backoff growth factor")
+    p_fault.add_argument("--max-delay", type=float, default=30.0, help="backoff cap, seconds")
+    p_fault.add_argument("--jitter", type=float, default=0.1, help="jitter fraction [0,1)")
+    p_fault.add_argument(
+        "--attempt-timeout", type=float, default=5.0, help="per-attempt latency budget, seconds"
+    )
+    p_fault.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive failures before the circuit opens",
+    )
+    p_fault.add_argument(
+        "--breaker-reset", type=float, default=30.0,
+        help="seconds an open circuit waits before a half-open probe",
+    )
+    p_fault.add_argument(
+        "--sweep-interval", type=float, default=60.0,
+        help="simulated seconds between periodic retry sweeps",
+    )
+    p_fault.add_argument("--sweeps", type=int, default=10, help="maximum retry sweeps to run")
+    p_fault.add_argument("--json", action="store_true", help="machine-readable summary")
+    _add_obs_flags(p_fault)
+
     return parser
 
 
@@ -379,6 +557,7 @@ _COMMANDS = {
     "script": _cmd_script,
     "evaluate": _cmd_evaluate,
     "obs": _cmd_obs,
+    "faultsim": _cmd_faultsim,
 }
 
 

@@ -22,7 +22,9 @@ class AuditEventType(Enum):
     DEVICE_DETACHED = "device-detached"
     PROFILING_STARTED = "profiling-started"
     DIRECTIVE_RECEIVED = "directive-received"
+    DIRECTIVE_PROVISIONAL = "directive-provisional"
     DIRECTIVE_REFRESHED = "directive-refreshed"
+    REPORT_RECOVERED = "report-recovered"
     FLOW_DENIED = "flow-denied"
     SPOOF_DETECTED = "spoof-detected"
     USER_NOTIFIED = "user-notified"

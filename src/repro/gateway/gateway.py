@@ -95,7 +95,7 @@ class SecurityGateway:
 
     # --- attachment ----------------------------------------------------------
 
-    def attach_device(self, mac: str, interface: str = "wifi") -> AttachedDevice:
+    def attach_device(self, mac: str, interface: str = "wifi", now: float = 0.0) -> AttachedDevice:
         """Associate/plug in a device; gives it its own switch port.
 
         Each wireless client gets a dedicated logical port, modelling the
@@ -115,17 +115,23 @@ class SecurityGateway:
         self.switch.learn(mac, port)
         if interface == "wifi":
             self.wps.provision(mac)
-        self.audit.record(0.0, AuditEventType.DEVICE_ATTACHED, mac, f"port={port} if={interface}")
+        self.audit.record(now, AuditEventType.DEVICE_ATTACHED, mac, f"port={port} if={interface}")
         return device
 
-    def detach_device(self, mac: str) -> None:
+    def detach_device(self, mac: str, now: float = 0.0) -> None:
         device = self._devices.pop(mac, None)
         if device is None:
             raise KeyError(mac)
         self.monitor.forget(mac)
         self.overlays.forget(mac)
         self.rule_cache.remove(mac)
-        self.audit.record(0.0, AuditEventType.DEVICE_DETACHED, mac)
+        if self.sentinel is not None:
+            self.sentinel.forget(mac)
+        # Flush the data plane too: installed flow entries and the learned
+        # port, so a re-attached or recycled MAC cannot ride stale rules.
+        self._flush_device_rules(mac)
+        self.switch.unlearn(mac)
+        self.audit.record(now, AuditEventType.DEVICE_DETACHED, mac)
 
     def device(self, mac: str) -> AttachedDevice:
         return self._devices[mac]
@@ -147,15 +153,19 @@ class SecurityGateway:
         """Inject a frame arriving from the Internet uplink."""
         return self.switch.process_frame(WAN_PORT, frame, now)
 
-    def finish_profiling(self, mac: str) -> IsolationDirective | None:
-        """Force-close a device's profiling session (idle-timeout sweep)."""
+    def finish_profiling(self, mac: str, now: float = 0.0) -> IsolationDirective | None:
+        """Force-close a device's profiling session (idle-timeout sweep).
+
+        Returns the directive the device ended up with — provisional
+        STRICT quarantine when the IoTSSP could not be reached (see
+        ``docs/robustness.md``), the service's answer otherwise.
+        """
         if self.sentinel is None:
             return None
         event = self.monitor.flush(mac)
         if event is None:
             return self.sentinel.directives.get(mac)
-        self.sentinel._on_profiled(event)
-        return self.sentinel.directives[mac]
+        return self.sentinel.complete_profiling(event, now=now)
 
     def preauthorize(
         self,
@@ -188,19 +198,31 @@ class SecurityGateway:
     def refresh_directives(self, now: float, *, force: bool = False) -> list[str]:
         """Periodic update query to the IoT Security Service (Sect. V).
 
-        Devices whose directive TTL has lapsed are re-assessed with their
-        stored fingerprint; devices whose level or allow-list changed get
-        their installed flow rules flushed so the new policy applies to
-        the next packet of every flow.  Returns the changed MACs.
+        The sweep first re-submits pending reports from degraded-mode
+        devices (provisional STRICT quarantine → the service's real
+        directive once it recovers), then re-assesses devices whose
+        directive TTL has lapsed.  Every device whose level or allow-list
+        changed gets its installed flow rules flushed so the new policy
+        applies to the next packet of every flow.  Returns the changed
+        MACs.
         """
         if self.sentinel is None:
             return []
-        changed = self.sentinel.refresh_directives(now, force=force)
+        changed = self.sentinel.retry_pending(now)
+        changed += [
+            mac
+            for mac in self.sentinel.refresh_directives(now, force=force)
+            if mac not in changed
+        ]
         for mac in changed:
-            stale = [rule for rule in self.switch.table if rule.match.eth_src == mac]
-            for rule in stale:
-                self.switch.table.remove(rule)
+            self._flush_device_rules(mac)
         return changed
+
+    def _flush_device_rules(self, mac: str) -> None:
+        """Remove a device's installed flow-table entries (policy changed)."""
+        stale = [rule for rule in self.switch.table if rule.match.eth_src == mac]
+        for rule in stale:
+            self.switch.table.remove(rule)
 
     def set_flow_policies(self, mac: str, policies: tuple) -> None:
         """Attach flow-granular filtering policies to a device's rule.
@@ -224,9 +246,7 @@ class SecurityGateway:
             )
         )
         # Drop this device's reactive flow entries so decisions re-punt.
-        stale = [rule for rule in self.switch.table if rule.match.eth_src == mac]
-        for rule in stale:
-            self.switch.table.remove(rule)
+        self._flush_device_rules(mac)
 
     # --- introspection ----------------------------------------------------------
 

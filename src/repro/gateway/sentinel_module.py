@@ -19,6 +19,9 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import names as obs_names
 from repro.sdn.controller import Controller, ControllerModule, Decision
 from repro.sdn.openflow import Action, FlowMatch, FlowRule, PacketIn
 from repro.sdn.overlay import IsolationLevel, OverlayManager, PolicyDecision
@@ -28,12 +31,17 @@ from repro.securityservice.protocol import FingerprintReport, IsolationDirective
 from .audit import AuditEventType, AuditLog
 from .monitor import DeviceMonitor, MonitorEvent
 
-__all__ = ["UserNotification", "SentinelModule"]
+__all__ = ["UserNotification", "PendingReport", "SentinelModule"]
 
 #: Priority band for enforcement rules (above the learning switch's 10).
 _ENFORCE_PRIORITY = 100
 #: Idle timeout for installed per-flow rules, seconds.
 _FLOW_IDLE_TIMEOUT = 60.0
+#: TTL of gateway-minted provisional quarantine directives: short, so a
+#: recovered service is consulted promptly even without a retry sweep.
+_PROVISIONAL_TTL = 300.0
+#: Placeholder type for devices quarantined before identification.
+_PROVISIONAL_TYPE = "unidentified"
 
 
 @dataclass(frozen=True)
@@ -43,6 +51,23 @@ class UserNotification:
     device_mac: str
     device_type: str
     message: str
+
+
+@dataclass
+class PendingReport:
+    """A fingerprint the IoTSSP has not accepted yet (degraded mode).
+
+    Created when a submit fails after profiling completes; the device
+    sits under a provisional STRICT directive and :meth:`SentinelModule
+    .retry_pending` re-submits the stored fingerprint until the service
+    recovers.  The report is never dropped.
+    """
+
+    device_mac: str
+    fingerprint: object
+    queued_at: float
+    attempts: int = 1
+    last_error: str = ""
 
 
 class SentinelModule(ControllerModule):
@@ -61,9 +86,11 @@ class SentinelModule(ControllerModule):
         gateway_macs: set[str] | None = None,
         notify: Callable[[UserNotification], None] | None = None,
         audit: AuditLog | None = None,
+        provisional_ttl: float = _PROVISIONAL_TTL,
     ) -> None:
         self.monitor = monitor
         self.transport = transport
+        self.provisional_ttl = provisional_ttl
         self.overlays = overlays
         self.rule_cache = rule_cache
         self.wan_port = wan_port
@@ -83,16 +110,26 @@ class SentinelModule(ControllerModule):
         #: Devices the user was told to remove (Sect. III-C3).  The gateway
         #: watches for further traffic to verify removal actually happened.
         self.removal_pending: dict[str, float] = {}  # mac -> last seen
+        #: Fingerprints awaiting IoTSSP acceptance (degraded mode).
+        self.pending_reports: dict[str, PendingReport] = {}
+        self.degraded_directives = 0
+        self.reports_recovered = 0
 
     # --- profiling lifecycle ------------------------------------------------
 
-    def _on_profiled(self, event: MonitorEvent, *, now: float = 0.0) -> None:
-        directive = self.transport.submit(FingerprintReport(fingerprint=event.fingerprint))
-        self.directives[event.device_mac] = directive
-        self._fingerprints[event.device_mac] = event.fingerprint
-        self._directive_times[event.device_mac] = now
+    def _submit(self, fingerprint: object, now: float) -> IsolationDirective:
+        """Send one report; threads ``now`` into time-aware transports."""
+        report = FingerprintReport(fingerprint=fingerprint)
+        if getattr(self.transport, "timeful", False):
+            return self.transport.submit(report, now=now)
+        return self.transport.submit(report)
+
+    def _apply_directive(self, mac: str, directive: IsolationDirective, now: float) -> None:
+        """Install a directive's enforcement state (rule cache + overlay)."""
+        self.directives[mac] = directive
+        self._directive_times[mac] = now
         rule = EnforcementRule(
-            device_mac=event.device_mac,
+            device_mac=mac,
             level=directive.level,
             permitted_ips=(
                 directive.permitted_endpoints
@@ -101,16 +138,20 @@ class SentinelModule(ControllerModule):
             ),
         )
         self.rule_cache.insert(rule)
-        self.overlays.assign(event.device_mac, directive.level, rule.permitted_ips)
+        self.overlays.assign(mac, directive.level, rule.permitted_ips)
+
+    def _accept_directive(self, mac: str, directive: IsolationDirective, now: float) -> None:
+        """A real service response: enforce it, audit it, notify if STRICT."""
+        self._apply_directive(mac, directive, now)
         self.audit.record(
             now,
             AuditEventType.DIRECTIVE_RECEIVED,
-            event.device_mac,
+            mac,
             f"type={directive.device_type} level={directive.level.value}",
         )
         if directive.level is IsolationLevel.STRICT and self.notify is not None:
             notification = UserNotification(
-                device_mac=event.device_mac,
+                device_mac=mac,
                 device_type=directive.device_type,
                 message=(
                     "Device could not be identified as a known safe type; "
@@ -119,10 +160,98 @@ class SentinelModule(ControllerModule):
                 ),
             )
             self.notifications.append(notification)
-            self.audit.record(
-                now, AuditEventType.USER_NOTIFIED, event.device_mac, notification.message
-            )
+            self.audit.record(now, AuditEventType.USER_NOTIFIED, mac, notification.message)
             self.notify(notification)
+
+    def _enter_degraded(self, mac: str, now: float, exc: Exception) -> IsolationDirective:
+        """Submit failed: quarantine provisionally and queue the report.
+
+        The paper's default-deny posture for unidentified devices: until
+        the IoTSSP answers, the device gets a STRICT directive marked
+        ``provisional=True`` with a short TTL, and its fingerprint joins
+        the pending-report queue for :meth:`retry_pending`.
+        """
+        directive = IsolationDirective(
+            device_type=_PROVISIONAL_TYPE,
+            level=IsolationLevel.STRICT,
+            ttl_seconds=self.provisional_ttl,
+            provisional=True,
+        )
+        if mac not in self.pending_reports:
+            self.pending_reports[mac] = PendingReport(
+                device_mac=mac,
+                fingerprint=self._fingerprints[mac],
+                queued_at=now,
+                last_error=f"{type(exc).__name__}: {exc}",
+            )
+        self.degraded_directives += 1
+        obs_counter(obs_names.METRIC_DEGRADED_DIRECTIVES).inc()
+        obs_gauge(obs_names.METRIC_PENDING_REPORTS).set(float(len(self.pending_reports)))
+        self._apply_directive(mac, directive, now)
+        self.audit.record(
+            now,
+            AuditEventType.DIRECTIVE_PROVISIONAL,
+            mac,
+            f"IoTSSP unreachable ({type(exc).__name__}); strict quarantine pending retry",
+        )
+        return directive
+
+    def complete_profiling(self, event: MonitorEvent, now: float = 0.0) -> IsolationDirective:
+        """A profiling session finished: report it and enforce the answer.
+
+        Never loses work: if the submit fails the fingerprint is queued
+        and the returned directive is a provisional STRICT quarantine;
+        :meth:`retry_pending` upgrades it once the service recovers.
+        """
+        mac = event.device_mac
+        self._fingerprints[mac] = event.fingerprint
+        try:
+            directive = self._submit(event.fingerprint, now)
+        except Exception as exc:  # degraded mode — classified upstream
+            return self._enter_degraded(mac, now, exc)
+        self._accept_directive(mac, directive, now)
+        return directive
+
+    def retry_pending(self, now: float) -> list[str]:
+        """Re-submit queued fingerprints; returns the MACs finalized.
+
+        Per-device isolation: one failure (or an open circuit breaker)
+        skips that device and the sweep continues.  Callers must flush
+        the returned MACs' flow rules so the upgraded policy applies.
+        """
+        recovered: list[str] = []
+        for mac in sorted(self.pending_reports):
+            pending = self.pending_reports[mac]
+            try:
+                directive = self._submit(pending.fingerprint, now)
+            except Exception as exc:
+                pending.attempts += 1
+                pending.last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            del self.pending_reports[mac]
+            self.reports_recovered += 1
+            obs_counter(obs_names.METRIC_REPORT_RECOVERIES).inc()
+            self.audit.record(
+                now,
+                AuditEventType.REPORT_RECOVERED,
+                mac,
+                f"accepted after {pending.attempts} failed submit(s); "
+                f"type={directive.device_type} level={directive.level.value}",
+            )
+            self._accept_directive(mac, directive, now)
+            recovered.append(mac)
+        obs_gauge(obs_names.METRIC_PENDING_REPORTS).set(float(len(self.pending_reports)))
+        return recovered
+
+    def forget(self, mac: str) -> None:
+        """Drop all per-device state (the device was detached)."""
+        self.directives.pop(mac, None)
+        self._fingerprints.pop(mac, None)
+        self._directive_times.pop(mac, None)
+        self.ip_bindings.pop(mac, None)
+        self.removal_pending.pop(mac, None)
+        if self.pending_reports.pop(mac, None) is not None:
+            obs_gauge(obs_names.METRIC_PENDING_REPORTS).set(float(len(self.pending_reports)))
 
     def request_removal(self, mac: str, now: float = 0.0) -> None:
         """Mark a device as pending physical removal by the user.
@@ -150,13 +279,22 @@ class SentinelModule(ControllerModule):
         """
         changed: list[str] = []
         for mac, directive in list(self.directives.items()):
+            if mac in self.pending_reports:
+                continue  # degraded-mode device: retry_pending owns its submits
             issued = self._directive_times.get(mac, 0.0)
             if not force and now - issued < directive.ttl_seconds:
                 continue
             fingerprint = self._fingerprints.get(mac)
             if fingerprint is None:
                 continue
-            fresh = self.transport.submit(FingerprintReport(fingerprint=fingerprint))
+            try:
+                fresh = self._submit(fingerprint, now)
+            except Exception:
+                # One bad submit must not abort the sweep: keep the current
+                # directive (and its issue time, so the next sweep retries)
+                # and move on to the other devices.
+                obs_counter(obs_names.METRIC_REFRESH_SKIPPED).inc()
+                continue
             self._directive_times[mac] = now
             if (
                 fresh.level is directive.level
@@ -274,7 +412,7 @@ class SentinelModule(ControllerModule):
         self._snoop_dhcp(event)
         monitor_event = self.monitor.observe(event.timestamp, packet)
         if monitor_event is not None:
-            self._on_profiled(monitor_event, now=event.timestamp)
+            self.complete_profiling(monitor_event, now=event.timestamp)
         if self.monitor.is_profiling(src) or not self.monitor.is_profiled(src):
             # Still profiling: forward, but keep the controller in the path.
             return Decision(actions=self._forward_actions(controller, event))

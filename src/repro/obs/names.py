@@ -31,6 +31,8 @@ __all__ = [
     "SPAN_PARALLEL_MAP",
     "SPAN_PARALLEL_TASK",
     "SPAN_SERVICE_REPORT",
+    "SPAN_TRANSPORT_SUBMIT",
+    "SPAN_TRANSPORT_ATTEMPT",
     # metrics
     "METRIC_PACKETS_SEEN",
     "METRIC_SESSIONS_OPENED",
@@ -46,6 +48,13 @@ __all__ = [
     "METRIC_PACKET_INS",
     "METRIC_FLOW_MODS",
     "METRIC_SPAN_DURATION",
+    "METRIC_TRANSPORT_RETRIES",
+    "METRIC_TRANSPORT_FAULTS",
+    "METRIC_BREAKER_TRANSITIONS",
+    "METRIC_DEGRADED_DIRECTIVES",
+    "METRIC_PENDING_REPORTS",
+    "METRIC_REPORT_RECOVERIES",
+    "METRIC_REFRESH_SKIPPED",
     "SPAN_NAMES",
     "METRIC_NAMES",
 ]
@@ -72,6 +81,10 @@ SPAN_PARALLEL_MAP = "parallel.map"
 SPAN_PARALLEL_TASK = "parallel.task"
 #: One ``IoTSecurityService.handle_report`` round trip.
 SPAN_SERVICE_REPORT = "service.handle_report"
+#: One ``ResilientTransport.submit`` call, retries included.
+SPAN_TRANSPORT_SUBMIT = "transport.submit"
+#: One attempt within a resilient submit (nests under ``transport.submit``).
+SPAN_TRANSPORT_ATTEMPT = "transport.submit.attempt"
 
 # --- metrics -----------------------------------------------------------------
 
@@ -104,6 +117,20 @@ METRIC_FLOW_MODS = "sdn_flow_mods_total"
 #: Histogram of finished-span durations, labelled ``span=<span name>``;
 #: recorded automatically by the recording provider.
 METRIC_SPAN_DURATION = "span_duration_seconds"
+#: Resilient-transport retries (backoffs actually slept).
+METRIC_TRANSPORT_RETRIES = "transport_retries_total"
+#: Submit attempt failures, labelled ``kind="error"|"timeout"|"fatal"|"circuit_open"``.
+METRIC_TRANSPORT_FAULTS = "transport_faults_total"
+#: Circuit-breaker state changes, labelled ``from_state``/``to_state``.
+METRIC_BREAKER_TRANSITIONS = "transport_breaker_transitions_total"
+#: Provisional STRICT quarantine directives issued while the IoTSSP is down.
+METRIC_DEGRADED_DIRECTIVES = "gateway_degraded_directives_total"
+#: Depth of the gateway's pending-report retry queue.
+METRIC_PENDING_REPORTS = "gateway_pending_reports"
+#: Pending reports finally accepted by the service (provisional → final).
+METRIC_REPORT_RECOVERIES = "gateway_report_recoveries_total"
+#: Directive-refresh sweep entries skipped because their submit failed.
+METRIC_REFRESH_SKIPPED = "gateway_refresh_skipped_total"
 
 #: Every canonical span name (checked against the docs table by CI).
 SPAN_NAMES = frozenset(
@@ -118,6 +145,8 @@ SPAN_NAMES = frozenset(
         SPAN_PARALLEL_MAP,
         SPAN_PARALLEL_TASK,
         SPAN_SERVICE_REPORT,
+        SPAN_TRANSPORT_SUBMIT,
+        SPAN_TRANSPORT_ATTEMPT,
     }
 )
 
@@ -138,5 +167,12 @@ METRIC_NAMES = frozenset(
         METRIC_PACKET_INS,
         METRIC_FLOW_MODS,
         METRIC_SPAN_DURATION,
+        METRIC_TRANSPORT_RETRIES,
+        METRIC_TRANSPORT_FAULTS,
+        METRIC_BREAKER_TRANSITIONS,
+        METRIC_DEGRADED_DIRECTIVES,
+        METRIC_PENDING_REPORTS,
+        METRIC_REPORT_RECOVERIES,
+        METRIC_REFRESH_SKIPPED,
     }
 )

@@ -71,6 +71,10 @@ class OpenVSwitch:
             raise ValueError(f"unknown port {port}")
         self._mac_table[mac] = port
 
+    def unlearn(self, mac: str) -> None:
+        """Drop a MAC's learned-port entry (the device left the network)."""
+        self._mac_table.pop(mac, None)
+
     def _apply_actions(
         self,
         actions: tuple[Action, ...],

@@ -12,17 +12,41 @@ from .protocol import (
     IsolationDirective,
     Transport,
 )
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Fault,
+    FaultInjectingTransport,
+    ManualClock,
+    ProtocolError,
+    ResilientTransport,
+    RetryPolicy,
+    ServiceUnavailable,
+    TransportFault,
+    TransportTimeout,
+)
 from .service import IoTSecurityService
 from .vulndb import VulnerabilityDatabase, VulnerabilityRecord, seed_database
 
 __all__ = [
     "AnonymizingTransport",
     "Assessment",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DirectTransport",
+    "Fault",
+    "FaultInjectingTransport",
     "FingerprintReport",
     "IoTSecurityService",
     "IsolationDirective",
+    "ManualClock",
+    "ProtocolError",
+    "ResilientTransport",
+    "RetryPolicy",
+    "ServiceUnavailable",
     "Transport",
+    "TransportFault",
+    "TransportTimeout",
     "VulnerabilityDatabase",
     "VulnerabilityRecord",
     "assess_device_type",

@@ -41,6 +41,11 @@ class IsolationDirective:
     permitted_endpoints: frozenset[str] = frozenset()
     ttl_seconds: float = 86400.0
     vulnerability_ids: tuple[str, ...] = ()
+    #: True for gateway-minted degraded-mode directives (the service was
+    #: unreachable, so the device sits in strict quarantine until the
+    #: pending report is accepted — see ``docs/robustness.md``).  Real
+    #: service responses always carry False.
+    provisional: bool = False
 
 
 class Transport:

@@ -1,0 +1,130 @@
+"""Fault injection through the full gateway pipeline: zero lost reports.
+
+The acceptance scenario for the resilient reporting path: under a
+scripted IoTSSP outage (fail N submits, then recover), every profiled
+device transitions provisional-STRICT → final directive with its flow
+rules flushed, and the retry schedule is byte-identical across runs for
+a fixed seed.
+"""
+
+from repro.gateway import SecurityGateway
+from repro.packets import builder
+from repro.sdn import IsolationLevel
+from repro.securityservice import (
+    CircuitBreaker,
+    DirectTransport,
+    FaultInjectingTransport,
+    IsolationDirective,
+    ManualClock,
+    ResilientTransport,
+    RetryPolicy,
+)
+
+DEVICES = {
+    "aa:00:00:00:00:01": "192.168.1.20",
+    "aa:00:00:00:00:02": "192.168.1.21",
+    "aa:00:00:00:00:03": "192.168.1.22",
+}
+
+
+class CountingService:
+    """Returns TRUSTED and remembers every report that got through."""
+
+    def __init__(self):
+        self.reports = []
+
+    def handle_report(self, report):
+        self.reports.append(report)
+        return IsolationDirective(device_type="Dev", level=IsolationLevel.TRUSTED)
+
+
+def build_gateway(*, failures, seed):
+    clock = ManualClock()
+    service = CountingService()
+    faulty = FaultInjectingTransport.failing(DirectTransport(service), failures, clock=clock)
+    transport = ResilientTransport(
+        faulty,
+        policy=RetryPolicy(max_attempts=2, base_delay=0.5, jitter=0.1),
+        seed=seed,
+        clock=clock,
+        breaker=CircuitBreaker(failure_threshold=4, reset_timeout=30.0, half_open_successes=1),
+    )
+    return SecurityGateway(transport), service, transport
+
+
+def profile_device(gateway, mac, ip, start):
+    frames = [
+        builder.dhcp_discover_frame(mac, 1, "dev"),
+        builder.arp_probe_frame(mac, ip),
+        builder.arp_announce_frame(mac, ip),
+        builder.dns_query_frame(mac, gateway.gateway_mac, ip, "192.168.1.1", "c.example"),
+        builder.https_client_hello_frame(mac, gateway.gateway_mac, ip, "52.10.0.1", "c.example"),
+    ]
+    t = start
+    for frame in frames:
+        gateway.process_frame(mac, frame, t)
+        t += 0.3
+    gateway.process_frame(mac, builder.arp_announce_frame(mac, ip), t + 30.0)
+    return t + 30.0
+
+
+def run_outage_scenario(*, failures=6, seed=7, max_sweeps=10, sweep_interval=60.0):
+    """Profile three devices during an outage; sweep until all recover."""
+    gateway, service, transport = build_gateway(failures=failures, seed=seed)
+    now = 0.0
+    for mac, ip in DEVICES.items():
+        gateway.attach_device(mac)
+        now = profile_device(gateway, mac, ip, now + 1.0)
+    sweeps = 0
+    while gateway.sentinel.pending_reports and sweeps < max_sweeps:
+        now += sweep_interval
+        sweeps += 1
+        gateway.refresh_directives(now)
+    return gateway, service, transport, sweeps
+
+
+class TestScriptedOutage:
+    def test_zero_lost_reports(self):
+        gateway, service, transport, sweeps = run_outage_scenario()
+        assert gateway.sentinel.pending_reports == {}
+        assert sweeps >= 1  # the outage really did force degraded mode
+        # Every device ended enforced with the service's final directive.
+        for mac in DEVICES:
+            directive = gateway.directive_for(mac)
+            assert directive is not None and not directive.provisional
+            assert directive.level is IsolationLevel.TRUSTED
+            assert gateway.isolation_level(mac) is IsolationLevel.TRUSTED
+            assert not any(r.match.eth_src == mac for r in gateway.switch.table)
+        # Exactly one accepted report per device: none lost, none duplicated
+        # after acceptance.
+        assert len(service.reports) == len(DEVICES)
+
+    def test_devices_quarantined_during_outage(self):
+        gateway, service, transport = build_gateway(failures=100, seed=7)
+        now = 0.0
+        for mac, ip in DEVICES.items():
+            gateway.attach_device(mac)
+            now = profile_device(gateway, mac, ip, now + 1.0)
+        for mac in DEVICES:
+            directive = gateway.directive_for(mac)
+            assert directive.provisional and directive.level is IsolationLevel.STRICT
+        assert set(gateway.sentinel.pending_reports) == set(DEVICES)
+        assert service.reports == []
+
+    def test_retry_schedule_reproducible_for_fixed_seed(self):
+        _, _, first, _ = run_outage_scenario(seed=123)
+        _, _, second, _ = run_outage_scenario(seed=123)
+        assert first.backoff_log == second.backoff_log  # byte-identical
+        assert first.backoff_log, "scenario must actually exercise retries"
+        _, _, other, _ = run_outage_scenario(seed=124)
+        assert first.backoff_log != other.backoff_log
+
+    def test_audit_shows_full_lifecycle_per_device(self):
+        from repro.gateway.audit import AuditEventType
+
+        gateway, _, _, _ = run_outage_scenario()
+        for mac in DEVICES:
+            types = [e.event_type for e in gateway.audit.for_device(mac)]
+            assert AuditEventType.DIRECTIVE_PROVISIONAL in types
+            assert AuditEventType.REPORT_RECOVERED in types
+            assert AuditEventType.DIRECTIVE_RECEIVED in types
