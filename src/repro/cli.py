@@ -140,9 +140,21 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     registry = load_registry(args.corpus)
     with _observed(args):
-        identifier = DeviceIdentifier(random_state=args.seed).fit(
-            registry, n_jobs=args.jobs
-        )
+        if args.store:
+            from pathlib import Path
+
+            from repro.core import ModelStore, warm_start_identifier
+
+            store = ModelStore(Path(args.store))
+            identifier, cache_hit = warm_start_identifier(
+                store=store, registry=registry, random_state=args.seed, n_jobs=args.jobs
+            )
+            print("model store: cache hit (training skipped)" if cache_hit
+                  else "model store: cache miss (trained and cached)")
+        else:
+            identifier = DeviceIdentifier(random_state=args.seed).fit(
+                registry, n_jobs=args.jobs
+            )
     save_identifier(identifier, args.output)
     print(f"trained {len(identifier.labels)} classifiers -> {args.output}")
     return 0
@@ -465,6 +477,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="parallel training workers (-1 = all cores); models are "
         "identical for any value given the same --seed",
+    )
+    p_train.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="warm-start model store directory: skip training when a "
+        "cached model matches the corpus content hash, cache it otherwise",
     )
     _add_obs_flags(p_train)
 

@@ -27,10 +27,15 @@ from .extractor import (
     fingerprint_from_records,
 )
 from .persistence import (
+    ModelStore,
     load_identifier,
+    load_identifier_npz,
     load_registry,
+    registry_content_key,
     save_identifier,
+    save_identifier_npz,
     save_registry,
+    warm_start_identifier,
 )
 from .features import (
     FEATURE_NAMES,
@@ -69,10 +74,15 @@ __all__ = [
     "FeatureImportanceReport",
     "classifier_feature_importance",
     "fingerprint_summary",
+    "ModelStore",
     "load_identifier",
+    "load_identifier_npz",
     "load_registry",
+    "registry_content_key",
     "save_identifier",
+    "save_identifier_npz",
     "save_registry",
+    "warm_start_identifier",
     "FEATURE_NAMES",
     "INTEGER_FEATURES",
     "NUM_FEATURES",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.ml.compiled import CompiledBank
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.parallel import derive_entropy, label_rng, parallel_map
 from repro.ml.sampling import build_binary_training_set
@@ -105,6 +106,15 @@ class DeviceIdentifier:
         byte-identical regardless of ``n_jobs``, training order, or
         whether a type arrived via :meth:`fit` or :meth:`add_type` — and
         inference never consumes randomness at all.
+    compiled:
+        When true (the default), stage 1 evaluates batches through a
+        lazily built :class:`~repro.ml.compiled.CompiledBank` — one flat
+        node table for the whole classifier bank, traversed with
+        vectorized gathers.  The compiled path is byte-identical to the
+        interpreted per-forest loop (``tests/ml/test_compiled_differential.py``
+        pins this), so flipping the flag never changes a result, only
+        throughput.  The bank is rebuilt automatically after
+        :meth:`fit`/:meth:`add_type`/:meth:`remove_type`.
     """
 
     #: Score slack within which two candidates count as tied.
@@ -120,6 +130,7 @@ class DeviceIdentifier:
         max_depth: int | None = None,
         accept_threshold: float = 0.4,
         random_state: int | np.random.Generator | None = None,
+        compiled: bool = True,
     ) -> None:
         self.fp_length = fp_length
         self.negative_ratio = negative_ratio
@@ -127,8 +138,11 @@ class DeviceIdentifier:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.accept_threshold = accept_threshold
+        self.compiled = compiled
         self._entropy = derive_entropy(random_state)
         self._models: dict[str, _TypeModel] = {}
+        self._bank: CompiledBank | None = None
+        self._bank_source: tuple[str, ...] = ()
 
     # --- training ---------------------------------------------------------
 
@@ -151,6 +165,7 @@ class DeviceIdentifier:
                 n_jobs=n_jobs,
             )
         self._models = {model.label: model for model in models}
+        self.invalidate_compiled()
         return self
 
     def add_type(self, registry: DeviceTypeRegistry, label: str) -> None:
@@ -161,11 +176,31 @@ class DeviceIdentifier:
         """
         model = self._train_type(registry, label)
         self._models[label] = model
+        self.invalidate_compiled()
 
     def remove_type(self, label: str) -> None:
         if label not in self._models:
             raise KeyError(label)
         del self._models[label]
+        self.invalidate_compiled()
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled bank; it is rebuilt lazily on the next batch.
+
+        Called automatically by every mutator; callers that assign
+        ``_models`` directly (persistence) must call it themselves.
+        """
+        self._bank = None
+        self._bank_source = ()
+
+    def _compiled_bank(self) -> CompiledBank:
+        labels = tuple(sorted(self._models))
+        if self._bank is None or self._bank_source != labels:
+            self._bank = CompiledBank(
+                [(label, self._models[label].classifier) for label in labels]
+            )
+            self._bank_source = labels
+        return self._bank
 
     def _train_type(self, registry: DeviceTypeRegistry, label: str) -> _TypeModel:
         with obs_span(obs_names.SPAN_TRAIN_TYPE, label=label):
@@ -213,6 +248,21 @@ class DeviceIdentifier:
         with obs_span(obs_names.SPAN_CLASSIFY, batch=len(fingerprints)):
             stacked = np.vstack([fp.fixed(self.fp_length) for fp in fingerprints])
             candidates: list[list[str]] = [[] for _ in fingerprints]
+            if self.compiled:
+                bank = self._compiled_bank()
+                with obs_span(
+                    obs_names.SPAN_CLASSIFY_BANK,
+                    batch=len(fingerprints),
+                    types=bank.n_forests,
+                ):
+                    positive = bank.positive_proba(stacked)
+                # Same label order as the interpreted loop below, and the
+                # probabilities are byte-identical, so the candidate lists
+                # cannot differ between the two paths.
+                for j, label in enumerate(bank.labels):
+                    for row in np.flatnonzero(positive[:, j] >= self.accept_threshold):
+                        candidates[int(row)].append(label)
+                return candidates
             for label, model in sorted(self._models.items()):
                 with obs_span(obs_names.SPAN_CLASSIFY_MODEL, label=label):
                     proba = model.classifier.predict_proba(stacked)

@@ -8,16 +8,30 @@ and reload them without retraining.  Format:
 * registry      — ``{"types": {label: [fingerprint, ...]}}``
 * identifier    — hyper-parameters + per-type serialized forest +
   reference fingerprints for the discrimination stage.
+
+Fleet-scale deployments additionally get a **binary model store**
+(:class:`ModelStore`): trained identifiers serialize to ``.npz`` payloads
+of the compiled flat node arrays (see :mod:`repro.ml.compiled`), keyed by
+a content hash over the training registry, the hyper-parameters, and the
+training entropy.  :func:`warm_start_identifier` consults the store before
+training and skips retraining entirely on a hit — ``docs/scaling.md``
+describes the format and its invalidation rules.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.ml.compiled import CompiledForest, compile_forest, forest_from_flat
+from repro.ml.parallel import derive_entropy
 from repro.ml.serialize import forest_from_dict, forest_to_dict
+from repro.obs import counter as obs_counter
+from repro.obs import names as obs_names
 
 from .fingerprint import Fingerprint
 from .identifier import DeviceIdentifier, _TypeModel
@@ -34,9 +48,19 @@ __all__ = [
     "identifier_from_dict",
     "save_identifier",
     "load_identifier",
+    "save_identifier_npz",
+    "load_identifier_npz",
+    "registry_content_key",
+    "ModelStore",
+    "warm_start_identifier",
 ]
 
 _FORMAT_VERSION = 1
+
+#: Version of the binary (npz) model-store payload layout.  Bumping it
+#: invalidates every cached payload, which degrades to a retrain — never
+#: to a mis-parse.
+_STORE_VERSION = 1
 
 
 def fingerprint_to_dict(fingerprint: Fingerprint) -> dict:
@@ -123,6 +147,7 @@ def identifier_from_dict(data: dict) -> DeviceIdentifier:
             classifier=forest,
             references=[fingerprint_from_dict(fp) for fp in model["references"]],
         )
+    identifier.invalidate_compiled()
     return identifier
 
 
@@ -132,3 +157,243 @@ def save_identifier(identifier: DeviceIdentifier, path: str | Path) -> None:
 
 def load_identifier(path: str | Path) -> DeviceIdentifier:
     return identifier_from_dict(json.loads(Path(path).read_text()))
+
+
+# --- binary (npz) payloads and the content-hash model store -----------------
+
+
+def _identifier_params(identifier: DeviceIdentifier) -> dict:
+    return {
+        "fp_length": identifier.fp_length,
+        "negative_ratio": identifier.negative_ratio,
+        "n_references": identifier.n_references,
+        "n_estimators": identifier.n_estimators,
+        "max_depth": identifier.max_depth,
+        "accept_threshold": identifier.accept_threshold,
+    }
+
+
+def save_identifier_npz(
+    identifier: DeviceIdentifier, path: str | Path, *, key: str = ""
+) -> None:
+    """Serialize a trained identifier as compiled flat arrays in one npz.
+
+    Every per-type forest is flattened by :func:`~repro.ml.compiled.compile_forest`
+    (node tables + leaf probabilities in forest class order); reference
+    fingerprints ride along as packed float64 matrices.  ``key`` (the
+    content hash, when saved through :class:`ModelStore`) is embedded so a
+    reader can detect a payload that no longer matches its filename.
+    """
+    if not identifier._models:
+        raise ValueError("cannot serialize an untrained identifier")
+    labels = sorted(identifier._models)
+    arrays: dict[str, np.ndarray] = {}
+    models_meta = []
+    for i, label in enumerate(labels):
+        model = identifier._models[label]
+        compiled = compile_forest(model.classifier)
+        prefix = f"m{i}_"
+        arrays[prefix + "feature"] = compiled.feature
+        arrays[prefix + "threshold"] = compiled.threshold
+        arrays[prefix + "left"] = compiled.left
+        arrays[prefix + "right"] = compiled.right
+        arrays[prefix + "proba"] = compiled.proba
+        arrays[prefix + "roots"] = compiled.tree_roots
+        arrays[prefix + "classes"] = np.asarray(compiled.classes_)
+        rows = [row for fp in model.references for row in fp.packets]
+        arrays[prefix + "refs"] = np.asarray(rows, dtype=np.float64)
+        arrays[prefix + "ref_lens"] = np.asarray(
+            [len(fp.packets) for fp in model.references], dtype=np.int64
+        )
+        models_meta.append(
+            {
+                "label": label,
+                "max_depth": compiled.max_depth,
+                "ref_macs": [fp.device_mac for fp in model.references],
+                "ref_labels": [fp.label for fp in model.references],
+            }
+        )
+    meta = {
+        "store_version": _STORE_VERSION,
+        "key": key,
+        "entropy": identifier._entropy,
+        "params": _identifier_params(identifier),
+        "models": models_meta,
+    }
+    arrays["meta"] = np.asarray(json.dumps(meta))
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_identifier_npz(
+    path: str | Path, *, expected_key: str | None = None
+) -> DeviceIdentifier:
+    """Rebuild an identifier from :func:`save_identifier_npz` output.
+
+    Raises ``ValueError`` on a version mismatch or (when ``expected_key``
+    is given) a stale embedded content hash; the model store turns both
+    into cache misses.
+    """
+    with np.load(Path(path), allow_pickle=False) as payload:
+        meta = json.loads(str(payload["meta"][()]))
+        if meta.get("store_version") != _STORE_VERSION:
+            raise ValueError(f"unsupported model-store version {meta.get('store_version')}")
+        if expected_key is not None and meta.get("key") != expected_key:
+            raise ValueError("stale model payload: embedded content hash mismatch")
+        params = meta["params"]
+        max_depth = params["max_depth"]
+        identifier = DeviceIdentifier(
+            fp_length=int(params["fp_length"]),
+            negative_ratio=int(params["negative_ratio"]),
+            n_references=int(params["n_references"]),
+            n_estimators=int(params["n_estimators"]),
+            max_depth=None if max_depth is None else int(max_depth),
+            accept_threshold=float(params["accept_threshold"]),
+            random_state=int(meta["entropy"]),
+        )
+        for i, model_meta in enumerate(meta["models"]):
+            prefix = f"m{i}_"
+            classes = np.asarray([bool(c) for c in payload[prefix + "classes"]])
+            compiled = CompiledForest(
+                feature=payload[prefix + "feature"],
+                threshold=payload[prefix + "threshold"],
+                left=payload[prefix + "left"],
+                right=payload[prefix + "right"],
+                proba=payload[prefix + "proba"],
+                tree_roots=payload[prefix + "roots"],
+                classes_=classes,
+                max_depth=int(model_meta["max_depth"]),
+            )
+            forest = forest_from_flat(
+                compiled,
+                n_estimators=identifier.n_estimators,
+                max_depth=identifier.max_depth,
+            )
+            references = []
+            offset = 0
+            rows = payload[prefix + "refs"]
+            for length, mac, ref_label in zip(
+                payload[prefix + "ref_lens"],
+                model_meta["ref_macs"],
+                model_meta["ref_labels"],
+            ):
+                packets = tuple(
+                    tuple(float(x) for x in row)
+                    for row in rows[offset : offset + int(length)]
+                )
+                offset += int(length)
+                references.append(
+                    Fingerprint(packets=packets, device_mac=mac, label=ref_label)
+                )
+            identifier._models[model_meta["label"]] = _TypeModel(
+                label=model_meta["label"],
+                classifier=forest,
+                references=references,
+            )
+    identifier.invalidate_compiled()
+    return identifier
+
+
+def registry_content_key(
+    registry: DeviceTypeRegistry,
+    *,
+    entropy: int,
+    fp_length: int,
+    negative_ratio: int,
+    n_references: int,
+    n_estimators: int,
+    max_depth: int | None,
+    accept_threshold: float,
+) -> str:
+    """Content hash identifying one (training data, hyper-params, seed) triple.
+
+    Any change to the registry's labels, fingerprint bytes, the training
+    hyper-parameters, or the derived entropy produces a different key, so
+    a cached model can never be served for training inputs it was not
+    built from.
+    """
+    digest = hashlib.sha256()
+    header = {
+        "store_version": _STORE_VERSION,
+        "entropy": entropy,
+        "fp_length": fp_length,
+        "negative_ratio": negative_ratio,
+        "n_references": n_references,
+        "n_estimators": n_estimators,
+        "max_depth": max_depth,
+        "accept_threshold": accept_threshold,
+    }
+    digest.update(json.dumps(header, sort_keys=True).encode())
+    for label in registry.labels:
+        digest.update(b"\x00L")
+        digest.update(label.encode())
+        for fp in registry.fingerprints(label):
+            digest.update(b"\x00F")
+            digest.update(fp.device_mac.encode())
+            packets = np.asarray(fp.packets, dtype=np.float64)
+            digest.update(str(packets.shape).encode())
+            digest.update(packets.tobytes())
+    return digest.hexdigest()
+
+
+class ModelStore:
+    """A directory of content-hash-keyed npz model payloads.
+
+    ``{key}.npz`` under ``root``; a lookup is a **hit** only when the file
+    exists, parses, carries the current payload version, *and* embeds the
+    same key it is named after — anything else (absent, corrupt, stale,
+    version-skewed) is a **miss**, counted separately, and warm-start
+    falls back to retraining.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def save(self, identifier: DeviceIdentifier, key: str) -> Path:
+        path = self.path_for(key)
+        save_identifier_npz(identifier, path, key=key)
+        return path
+
+    def load(self, key: str) -> DeviceIdentifier | None:
+        path = self.path_for(key)
+        if not path.is_file():
+            obs_counter(obs_names.METRIC_MODEL_STORE_MISSES).inc()
+            return None
+        try:
+            identifier = load_identifier_npz(path, expected_key=key)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            obs_counter(obs_names.METRIC_MODEL_STORE_MISSES).inc()
+            return None
+        obs_counter(obs_names.METRIC_MODEL_STORE_HITS).inc()
+        return identifier
+
+
+def warm_start_identifier(
+    registry: DeviceTypeRegistry,
+    store: ModelStore,
+    *,
+    random_state: int | np.random.Generator | None = None,
+    n_jobs: int | None = None,
+    **hyper_params,
+) -> tuple[DeviceIdentifier, bool]:
+    """Train-or-load an identifier through the model store.
+
+    Returns ``(identifier, cache_hit)``.  The content key covers the
+    registry, the hyper-parameters, and the entropy derived from
+    ``random_state``, so a hit is guaranteed to be the byte-identical
+    model a fresh ``fit`` would have produced (PR 1's determinism
+    invariant makes training a pure function of exactly those inputs).
+    """
+    entropy = derive_entropy(random_state)
+    identifier = DeviceIdentifier(random_state=entropy, **hyper_params)
+    key = registry_content_key(registry, entropy=entropy, **_identifier_params(identifier))
+    cached = store.load(key)
+    if cached is not None:
+        return cached, True
+    identifier.fit(registry, n_jobs=n_jobs)
+    store.save(identifier, key)
+    return identifier, False
+

@@ -50,6 +50,13 @@ class SecurityGateway:
         "without filtering" baseline.
     notify_user:
         Callback for user notifications (mitigation strategy III-C3).
+    batch_profiling:
+        When True, completed profiling sessions are buffered in the
+        monitor and reported in batches by :meth:`drain_profiling` (one
+        compiled-bank identification pass per sweep) instead of one
+        IoTSSP round trip per device.  Between completion and the next
+        drain a device sits at default-deny — the fleet-scale posture
+        ``docs/scaling.md`` describes.
     """
 
     def __init__(
@@ -61,16 +68,20 @@ class SecurityGateway:
         gateway_ip: str = "192.168.1.1",
         rule_cache_capacity: int | None = None,
         notify_user: Callable[[UserNotification], None] | None = None,
+        batch_profiling: bool = False,
     ) -> None:
         if filtering and transport is None:
             raise ValueError("a filtering gateway needs a transport to the IoTSSP")
         self.gateway_mac = gateway_mac
         self.gateway_ip = gateway_ip
         self.filtering = filtering
+        self.batch_profiling = batch_profiling
         self.switch = OpenVSwitch(name="security-gateway")
         self.switch.add_port(WAN_PORT)
         self.controller = Controller(switch=self.switch)
-        self.monitor = DeviceMonitor(ignore_macs={gateway_mac})
+        self.monitor = DeviceMonitor(
+            ignore_macs={gateway_mac}, buffer_completions=batch_profiling
+        )
         self.wps = WPSRegistrar()
         self.overlays = OverlayManager()
         self.rule_cache = EnforcementRuleCache(capacity=rule_cache_capacity)
@@ -166,6 +177,24 @@ class SecurityGateway:
         if event is None:
             return self.sentinel.directives.get(mac)
         return self.sentinel.complete_profiling(event, now=now)
+
+    def drain_profiling(self, now: float = 0.0) -> dict[str, IsolationDirective]:
+        """Report all buffered profiling completions in one batch (sweep).
+
+        The batched counterpart of the per-packet ``complete_profiling``
+        path: drains the monitor's completion buffer, pushes the whole
+        batch through ``SentinelModule.process_batch`` (one compiled-bank
+        stage-1 pass on a plain transport), then flushes each answered
+        device's flow rules so its directive replaces the default-deny
+        entries installed while it waited.  Returns directive-per-MAC.
+        """
+        events = self.monitor.drain_completed()
+        if self.sentinel is None or not events:
+            return {}
+        directives = self.sentinel.process_batch(events, now=now)
+        for mac in directives:
+            self._flush_device_rules(mac)
+        return directives
 
     def preauthorize(
         self,

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.core.extractor import FingerprintExtractor, SetupPhaseDetector
 from repro.core.fingerprint import Fingerprint
 from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
 from repro.obs import names as obs_names
 from repro.packets.decoder import DecodedPacket
 
@@ -35,19 +36,32 @@ class MonitorEvent:
 
 
 class DeviceMonitor:
-    """Tracks devices and runs one fingerprint extractor per new device."""
+    """Tracks devices and runs one fingerprint extractor per new device.
+
+    With ``buffer_completions=True`` the monitor runs in the fleet-scale
+    *batched* mode: sessions that complete inside :meth:`observe` are
+    queued instead of returned, and a periodic :meth:`drain_completed`
+    sweep hands the whole batch to ``SentinelModule.process_batch`` for
+    one compiled-bank identification pass.  Until drained, a completed
+    device counts as profiled but has no directive, so the enforcement
+    path holds it at default-deny (see ``docs/scaling.md``).
+    :meth:`flush` always completes immediately, bypassing the buffer.
+    """
 
     def __init__(
         self,
         *,
         detector_factory=SetupPhaseDetector,
         ignore_macs: set[str] | None = None,
+        buffer_completions: bool = False,
     ) -> None:
         self._detector_factory = detector_factory
         self._ignore = set(ignore_macs or ())
         self._sessions: dict[str, FingerprintExtractor] = {}
         self._modes: dict[str, str] = {}
         self._profiled: set[str] = set()
+        self.buffer_completions = buffer_completions
+        self._completed: list[MonitorEvent] = []
 
     # --- bookkeeping --------------------------------------------------------
 
@@ -76,6 +90,8 @@ class DeviceMonitor:
         self._sessions.pop(mac, None)
         self._modes.pop(mac, None)
         self._profiled.discard(mac)
+        if self._completed:
+            self._completed = [e for e in self._completed if e.device_mac != mac]
 
     def mark_profiled(self, mac: str) -> None:
         """Record a device as already profiled without a capture session.
@@ -115,8 +131,23 @@ class DeviceMonitor:
             obs_counter(obs_names.METRIC_SESSIONS_OPENED, mode="setup").inc()
         if session.add(timestamp, packet):
             obs_counter(obs_names.METRIC_DETECTOR_FIRES).inc()
-            return self._complete(mac)
+            event = self._complete(mac)
+            if self.buffer_completions:
+                self._completed.append(event)
+                obs_gauge(obs_names.METRIC_COMPLETIONS_BUFFERED).set(
+                    float(len(self._completed))
+                )
+                return None
+            return event
         return None
+
+    def drain_completed(self) -> list[MonitorEvent]:
+        """Take (and clear) the buffered completion events, oldest first."""
+        events = self._completed
+        self._completed = []
+        if events:
+            obs_gauge(obs_names.METRIC_COMPLETIONS_BUFFERED).set(0.0)
+        return events
 
     def flush(self, mac: str) -> MonitorEvent | None:
         """Force-complete a session (e.g. gateway-side timeout sweep)."""

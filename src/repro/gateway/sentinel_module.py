@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.obs import names as obs_names
+from repro.obs import span as obs_span
 from repro.sdn.controller import Controller, ControllerModule, Decision
 from repro.sdn.openflow import Action, FlowMatch, FlowRule, PacketIn
 from repro.sdn.overlay import IsolationLevel, OverlayManager, PolicyDecision
@@ -211,6 +212,45 @@ class SentinelModule(ControllerModule):
             return self._enter_degraded(mac, now, exc)
         self._accept_directive(mac, directive, now)
         return directive
+
+    def process_batch(
+        self, events: list[MonitorEvent], now: float = 0.0
+    ) -> dict[str, IsolationDirective]:
+        """Report a drained batch of completed profilings in one round trip.
+
+        Plain transports carry the whole batch via ``submit_many`` (one
+        ``service.handle_reports`` call, one compiled-bank stage-1 pass);
+        time-aware transports (the resilient path) and any batch-level
+        failure fall back to per-event :meth:`complete_profiling`, which
+        preserves per-device degraded-mode isolation — one unreachable
+        submit quarantines only its own device.  Returns the directive
+        enforced per MAC; callers must flush those MACs' flow rules so the
+        new policy replaces the pre-drain default-deny entries.
+        """
+        if not events:
+            return {}
+        with obs_span(obs_names.SPAN_GATEWAY_BATCH, batch=len(events)):
+            obs_counter(obs_names.METRIC_GATEWAY_BATCHES).inc()
+            for event in events:
+                self._fingerprints[event.device_mac] = event.fingerprint
+            directives: dict[str, IsolationDirective] = {}
+            submit_many = getattr(self.transport, "submit_many", None)
+            if submit_many is not None and not getattr(self.transport, "timeful", False):
+                reports = [
+                    FingerprintReport(fingerprint=event.fingerprint) for event in events
+                ]
+                try:
+                    answers = submit_many(reports)
+                except Exception:
+                    answers = None  # degrade to the per-event path below
+                if answers is not None:
+                    for event, directive in zip(events, answers):
+                        self._accept_directive(event.device_mac, directive, now)
+                        directives[event.device_mac] = directive
+                    return directives
+            for event in events:
+                directives[event.device_mac] = self.complete_profiling(event, now=now)
+            return directives
 
     def retry_pending(self, now: float) -> list[str]:
         """Re-submit queued fingerprints; returns the MACs finalized.

@@ -5,6 +5,7 @@ identification pipeline needs (Random Forest classification [23],
 imbalance-aware sampling [22], stratified cross-validation).
 """
 
+from .compiled import CompiledBank, CompiledForest, compile_forest, forest_from_flat
 from .forest import RandomForestClassifier
 from .metrics import accuracy_score, confusion_matrix, per_class_accuracy
 from .parallel import (
@@ -20,10 +21,14 @@ from .tree import DecisionTreeClassifier
 from .validation import stratified_kfold
 
 __all__ = [
+    "CompiledBank",
+    "CompiledForest",
     "DecisionTreeClassifier",
     "RandomForestClassifier",
     "accuracy_score",
     "build_binary_training_set",
+    "compile_forest",
+    "forest_from_flat",
     "confusion_matrix",
     "derive_entropy",
     "label_rng",

@@ -24,6 +24,7 @@ __all__ = [
     "SPAN_IDENTIFY",
     "SPAN_CLASSIFY",
     "SPAN_CLASSIFY_MODEL",
+    "SPAN_CLASSIFY_BANK",
     "SPAN_DISCRIMINATE",
     "SPAN_EXTRACT",
     "SPAN_TRAIN_FIT",
@@ -31,8 +32,10 @@ __all__ = [
     "SPAN_PARALLEL_MAP",
     "SPAN_PARALLEL_TASK",
     "SPAN_SERVICE_REPORT",
+    "SPAN_SERVICE_BATCH",
     "SPAN_TRANSPORT_SUBMIT",
     "SPAN_TRANSPORT_ATTEMPT",
+    "SPAN_GATEWAY_BATCH",
     # metrics
     "METRIC_PACKETS_SEEN",
     "METRIC_SESSIONS_OPENED",
@@ -55,6 +58,10 @@ __all__ = [
     "METRIC_PENDING_REPORTS",
     "METRIC_REPORT_RECOVERIES",
     "METRIC_REFRESH_SKIPPED",
+    "METRIC_MODEL_STORE_HITS",
+    "METRIC_MODEL_STORE_MISSES",
+    "METRIC_GATEWAY_BATCHES",
+    "METRIC_COMPLETIONS_BUFFERED",
     "SPAN_NAMES",
     "METRIC_NAMES",
 ]
@@ -67,6 +74,8 @@ SPAN_IDENTIFY = "identify"
 SPAN_CLASSIFY = "identify.classify"
 #: One binary Random Forest's vote (Table IV "1 Classification").
 SPAN_CLASSIFY_MODEL = "identify.classify.model"
+#: One compiled-bank pass: every type's forest over the whole batch at once.
+SPAN_CLASSIFY_BANK = "identify.classify.bank"
 #: Stage 2: edit-distance discrimination (Table IV "Discrimination").
 SPAN_DISCRIMINATE = "identify.discriminate"
 #: Packet records -> fingerprint (Table IV "Fingerprint extraction").
@@ -81,10 +90,14 @@ SPAN_PARALLEL_MAP = "parallel.map"
 SPAN_PARALLEL_TASK = "parallel.task"
 #: One ``IoTSecurityService.handle_report`` round trip.
 SPAN_SERVICE_REPORT = "service.handle_report"
+#: One ``IoTSecurityService.handle_reports`` batch (shared stage-1 pass).
+SPAN_SERVICE_BATCH = "service.handle_reports"
 #: One ``ResilientTransport.submit`` call, retries included.
 SPAN_TRANSPORT_SUBMIT = "transport.submit"
 #: One attempt within a resilient submit (nests under ``transport.submit``).
 SPAN_TRANSPORT_ATTEMPT = "transport.submit.attempt"
+#: One ``SentinelModule.process_batch`` call over drained completions.
+SPAN_GATEWAY_BATCH = "gateway.process_batch"
 
 # --- metrics -----------------------------------------------------------------
 
@@ -131,6 +144,14 @@ METRIC_PENDING_REPORTS = "gateway_pending_reports"
 METRIC_REPORT_RECOVERIES = "gateway_report_recoveries_total"
 #: Directive-refresh sweep entries skipped because their submit failed.
 METRIC_REFRESH_SKIPPED = "gateway_refresh_skipped_total"
+#: Model-store lookups answered from a cached payload (retraining skipped).
+METRIC_MODEL_STORE_HITS = "model_store_hits_total"
+#: Model-store lookups that missed (absent, stale hash, or unreadable).
+METRIC_MODEL_STORE_MISSES = "model_store_misses_total"
+#: Profiling batches pushed through ``SentinelModule.process_batch``.
+METRIC_GATEWAY_BATCHES = "gateway_profiling_batches_total"
+#: Completed setup captures waiting in the monitor's drain buffer.
+METRIC_COMPLETIONS_BUFFERED = "monitor_completions_buffered"
 
 #: Every canonical span name (checked against the docs table by CI).
 SPAN_NAMES = frozenset(
@@ -138,6 +159,7 @@ SPAN_NAMES = frozenset(
         SPAN_IDENTIFY,
         SPAN_CLASSIFY,
         SPAN_CLASSIFY_MODEL,
+        SPAN_CLASSIFY_BANK,
         SPAN_DISCRIMINATE,
         SPAN_EXTRACT,
         SPAN_TRAIN_FIT,
@@ -145,8 +167,10 @@ SPAN_NAMES = frozenset(
         SPAN_PARALLEL_MAP,
         SPAN_PARALLEL_TASK,
         SPAN_SERVICE_REPORT,
+        SPAN_SERVICE_BATCH,
         SPAN_TRANSPORT_SUBMIT,
         SPAN_TRANSPORT_ATTEMPT,
+        SPAN_GATEWAY_BATCH,
     }
 )
 
@@ -174,5 +198,9 @@ METRIC_NAMES = frozenset(
         METRIC_PENDING_REPORTS,
         METRIC_REPORT_RECOVERIES,
         METRIC_REFRESH_SKIPPED,
+        METRIC_MODEL_STORE_HITS,
+        METRIC_MODEL_STORE_MISSES,
+        METRIC_GATEWAY_BATCHES,
+        METRIC_COMPLETIONS_BUFFERED,
     }
 )

@@ -60,6 +60,19 @@ class Transport:
     def submit(self, report: FingerprintReport) -> IsolationDirective:
         return self._service.handle_report(report)
 
+    def submit_many(self, reports: list[FingerprintReport]) -> list[IsolationDirective]:
+        """Carry a whole profiling batch in one round trip.
+
+        Delegates to the service's batched ``handle_reports`` (one
+        compiled-bank stage-1 pass) when it offers one, else falls back to
+        per-report submits.  Either way the directives are positionally
+        aligned with ``reports`` and identical to scalar submits.
+        """
+        handle_reports = getattr(self._service, "handle_reports", None)
+        if handle_reports is not None:
+            return handle_reports(list(reports))
+        return [self.submit(report) for report in reports]
+
 
 class DirectTransport(Transport):
     """In-process call, negligible latency."""
@@ -74,3 +87,8 @@ class AnonymizingTransport(Transport):
 
     def submit(self, report: FingerprintReport) -> IsolationDirective:
         return super().submit(replace(report, gateway_id=None))
+
+    def submit_many(self, reports: list[FingerprintReport]) -> list[IsolationDirective]:
+        return super().submit_many(
+            [replace(report, gateway_id=None) for report in reports]
+        )

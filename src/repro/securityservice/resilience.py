@@ -377,6 +377,14 @@ class ResilientTransport(Transport):
             span.set(outcome="exhausted", attempts=self.policy.max_attempts)
             raise last_fault if last_fault is not None else ServiceUnavailable("no attempts made")
 
+    def submit_many(
+        self, reports: list[FingerprintReport], *, now: float | None = None
+    ) -> list[IsolationDirective]:
+        """Per-report resilient submits — retries and the breaker apply to
+        each report individually, so one device's outage cannot poison the
+        rest of a batch with a shared failure."""
+        return [self.submit(report, now=now) for report in reports]
+
 
 # --- fault injection ---------------------------------------------------------
 
@@ -454,6 +462,10 @@ class FaultInjectingTransport(Transport):
     @property
     def latency(self) -> float:  # type: ignore[override]
         return self.inner.latency
+
+    def submit_many(self, reports: list[FingerprintReport]) -> list[IsolationDirective]:
+        """One scripted fault per report, same as per-report submits."""
+        return [self.submit(report) for report in reports]
 
     def submit(self, report: FingerprintReport) -> IsolationDirective:
         self.submits += 1

@@ -107,14 +107,36 @@ class IoTSecurityService:
             self.reports_handled += 1
             obs_counter(obs_names.METRIC_REPORTS_HANDLED).inc()
             result = self.identifier.identify(report.fingerprint)
-            assessment = self.assess_type(result.label)
-            obs_counter(
-                obs_names.METRIC_DIRECTIVES, level=assessment.level.value
-            ).inc()
-            span.set(device_type=result.label, level=assessment.level.value)
-            return IsolationDirective(
-                device_type=result.label,
-                level=assessment.level,
-                permitted_endpoints=assessment.permitted_endpoints,
-                vulnerability_ids=assessment.vulnerability_ids,
+            directive = self._directive_for(result.label)
+            span.set(device_type=result.label, level=directive.level.value)
+            return directive
+
+    def handle_reports(self, reports: list[FingerprintReport]) -> list[IsolationDirective]:
+        """Handle a batch of reports through one stage-1 bank pass.
+
+        Semantically identical to mapping :meth:`handle_report` over the
+        batch (``identify_batch`` is pinned against scalar ``identify``),
+        but stage 1 evaluates the whole classifier bank over all stacked
+        F' vectors at once — the fleet-scale path drained batches from
+        ``SentinelModule.process_batch`` take.
+        """
+        with obs_span(obs_names.SPAN_SERVICE_BATCH, batch=len(reports)) as span:
+            self.reports_handled += len(reports)
+            for _ in reports:
+                obs_counter(obs_names.METRIC_REPORTS_HANDLED).inc()
+            results = self.identifier.identify_batch(
+                [report.fingerprint for report in reports]
             )
+            directives = [self._directive_for(result.label) for result in results]
+            span.set(batch=len(reports))
+            return directives
+
+    def _directive_for(self, label: str) -> IsolationDirective:
+        assessment = self.assess_type(label)
+        obs_counter(obs_names.METRIC_DIRECTIVES, level=assessment.level.value).inc()
+        return IsolationDirective(
+            device_type=label,
+            level=assessment.level,
+            permitted_endpoints=assessment.permitted_endpoints,
+            vulnerability_ids=assessment.vulnerability_ids,
+        )

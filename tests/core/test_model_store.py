@@ -1,0 +1,183 @@
+"""Model-store round trips: npz payloads, content keys, warm starts.
+
+The binary store only earns its keep if a cache hit is *indistinguishable*
+from retraining: these tests pin that ``save_identifier_npz →
+load_identifier_npz`` preserves every ``identify()`` outcome on held-out
+fingerprints, that the content key tracks registry/hyper-parameter/seed
+changes, and that stale or corrupt payloads degrade to misses (retrain),
+never to wrong answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeviceIdentifier,
+    ModelStore,
+    load_identifier_npz,
+    registry_content_key,
+    save_identifier_npz,
+    warm_start_identifier,
+)
+from repro.devices import DEVICE_PROFILES, collect_dataset
+from repro.obs import RecordingProvider, metrics_snapshot, use_provider
+
+
+@pytest.fixture(scope="module")
+def held_out(small_registry):
+    """Fingerprints from fresh setup runs the identifier never trained on."""
+    profiles = [
+        p
+        for p in DEVICE_PROFILES
+        if p.identifier in {label for label in small_registry.labels}
+    ]
+    fresh = collect_dataset(profiles, runs_per_device=3, seed=977)
+    return [fp for label in fresh.labels for fp in fresh.fingerprints(label)]
+
+
+def results_equal(a, b):
+    return (
+        a.label == b.label
+        and a.candidates == b.candidates
+        and a.scores == b.scores
+        and a.used_discrimination == b.used_discrimination
+    )
+
+
+class TestNpzRoundTrip:
+    def test_identify_results_identical_on_held_out(
+        self, small_identifier, held_out, tmp_path
+    ):
+        path = tmp_path / "bank.npz"
+        save_identifier_npz(small_identifier, path)
+        restored = load_identifier_npz(path)
+        assert restored.labels == small_identifier.labels
+        for fp in held_out:
+            assert results_equal(restored.identify(fp), small_identifier.identify(fp))
+
+    def test_forest_probas_bit_identical(self, small_identifier, held_out, tmp_path):
+        path = tmp_path / "bank.npz"
+        save_identifier_npz(small_identifier, path)
+        restored = load_identifier_npz(path)
+        stacked = np.vstack(
+            [fp.fixed(small_identifier.fp_length) for fp in held_out[:8]]
+        )
+        for label in small_identifier.labels:
+            original = small_identifier._models[label].classifier
+            rebuilt = restored._models[label].classifier
+            assert np.array_equal(
+                rebuilt.predict_proba(stacked), original.predict_proba(stacked)
+            )
+
+    def test_references_and_params_survive(self, small_identifier, tmp_path):
+        path = tmp_path / "bank.npz"
+        save_identifier_npz(small_identifier, path)
+        restored = load_identifier_npz(path)
+        assert restored.fp_length == small_identifier.fp_length
+        assert restored.accept_threshold == small_identifier.accept_threshold
+        assert restored._entropy == small_identifier._entropy
+        for label in small_identifier.labels:
+            originals = small_identifier._models[label].references
+            rebuilt = restored._models[label].references
+            assert [fp.packets for fp in rebuilt] == [fp.packets for fp in originals]
+            assert [fp.device_mac for fp in rebuilt] == [
+                fp.device_mac for fp in originals
+            ]
+
+    def test_untrained_identifier_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_identifier_npz(DeviceIdentifier(), tmp_path / "x.npz")
+
+
+class TestContentKey:
+    def params(self, identifier):
+        return dict(
+            fp_length=identifier.fp_length,
+            negative_ratio=identifier.negative_ratio,
+            n_references=identifier.n_references,
+            n_estimators=identifier.n_estimators,
+            max_depth=identifier.max_depth,
+            accept_threshold=identifier.accept_threshold,
+        )
+
+    def test_deterministic(self, small_registry, small_identifier):
+        kwargs = self.params(small_identifier)
+        a = registry_content_key(small_registry, entropy=11, **kwargs)
+        b = registry_content_key(small_registry, entropy=11, **kwargs)
+        assert a == b and len(a) == 64
+
+    def test_sensitive_to_entropy_params_and_data(
+        self, small_registry, small_identifier
+    ):
+        kwargs = self.params(small_identifier)
+        base = registry_content_key(small_registry, entropy=11, **kwargs)
+        assert registry_content_key(small_registry, entropy=12, **kwargs) != base
+        changed = dict(kwargs, n_estimators=kwargs["n_estimators"] + 1)
+        assert registry_content_key(small_registry, entropy=11, **changed) != base
+        profiles = [p for p in DEVICE_PROFILES if p.identifier in small_registry.labels]
+        other = collect_dataset(profiles, runs_per_device=2, seed=5)
+        assert registry_content_key(other, entropy=11, **kwargs) != base
+
+
+class TestWarmStart:
+    def test_miss_then_hit(self, small_registry, held_out, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        with use_provider(RecordingProvider()) as provider:
+            first, hit_first = warm_start_identifier(
+                small_registry, store, random_state=11
+            )
+            second, hit_second = warm_start_identifier(
+                small_registry, store, random_state=11
+            )
+        assert not hit_first and hit_second
+        samples = metrics_snapshot(provider.metrics)
+        assert samples["model_store_misses_total"]["samples"][0]["value"] == 1
+        assert samples["model_store_hits_total"]["samples"][0]["value"] == 1
+        for fp in held_out:
+            assert results_equal(second.identify(fp), first.identify(fp))
+
+    def test_different_seed_is_a_miss(self, small_registry, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        _, hit_a = warm_start_identifier(small_registry, store, random_state=11)
+        _, hit_b = warm_start_identifier(small_registry, store, random_state=12)
+        assert not hit_a and not hit_b
+
+    def test_stale_payload_hash_is_a_miss(self, small_registry, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        identifier, _ = warm_start_identifier(small_registry, store, random_state=11)
+        entropy = identifier._entropy
+        key = registry_content_key(
+            small_registry,
+            entropy=entropy,
+            fp_length=identifier.fp_length,
+            negative_ratio=identifier.negative_ratio,
+            n_references=identifier.n_references,
+            n_estimators=identifier.n_estimators,
+            max_depth=identifier.max_depth,
+            accept_threshold=identifier.accept_threshold,
+        )
+        # Simulate a renamed/stale payload: the embedded key no longer
+        # matches the filename the lookup resolves.
+        other_key = "0" * 64
+        store.path_for(key).rename(store.path_for(other_key))
+        assert store.load(other_key) is None
+        assert store.load(key) is None  # the original name is gone too
+
+    def test_corrupt_payload_is_a_miss_then_retrains(self, small_registry, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        identifier, _ = warm_start_identifier(small_registry, store, random_state=11)
+        key = registry_content_key(
+            small_registry,
+            entropy=identifier._entropy,
+            fp_length=identifier.fp_length,
+            negative_ratio=identifier.negative_ratio,
+            n_references=identifier.n_references,
+            n_estimators=identifier.n_estimators,
+            max_depth=identifier.max_depth,
+            accept_threshold=identifier.accept_threshold,
+        )
+        store.path_for(key).write_bytes(b"not an npz payload")
+        assert store.load(key) is None
+        retrained, hit = warm_start_identifier(small_registry, store, random_state=11)
+        assert not hit
+        assert retrained.labels == identifier.labels

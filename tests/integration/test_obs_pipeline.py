@@ -33,14 +33,31 @@ class TestIdentifyPath:
         assert spans <= names.SPAN_NAMES
         assert metrics <= names.METRIC_NAMES
         assert {names.SPAN_IDENTIFY, names.SPAN_CLASSIFY,
-                names.SPAN_CLASSIFY_MODEL} <= spans
-        # One model span per known type, all under the classify span,
-        # which itself nests under the single identify root.
+                names.SPAN_CLASSIFY_BANK} <= spans
+        # One bank span under the classify span, which itself nests under
+        # the single identify root (compiled stage 1, the default).
         (root,) = provider.tracer.records_named(names.SPAN_IDENTIFY)
         assert root.parent_id is None
         assert root.attributes["label"] == result.label
         (classify,) = provider.tracer.records_named(names.SPAN_CLASSIFY)
         assert classify.parent_id == root.span_id
+        (bank,) = provider.tracer.records_named(names.SPAN_CLASSIFY_BANK)
+        assert bank.parent_id == classify.span_id
+        assert bank.attributes["types"] == len(small_identifier.labels)
+
+    def test_interpreted_path_emits_per_model_spans(
+        self, small_registry, small_identifier
+    ):
+        probe = small_registry.fingerprints(small_registry.labels[0])[0]
+        provider = RecordingProvider()
+        small_identifier.compiled = False
+        try:
+            with use_provider(provider):
+                small_identifier.identify(probe)
+        finally:
+            small_identifier.compiled = True
+        # One model span per known type, all under the classify span.
+        (classify,) = provider.tracer.records_named(names.SPAN_CLASSIFY)
         models = provider.tracer.records_named(names.SPAN_CLASSIFY_MODEL)
         assert len(models) == len(small_identifier.labels)
         assert {m.parent_id for m in models} == {classify.span_id}

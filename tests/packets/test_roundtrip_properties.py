@@ -1,0 +1,267 @@
+"""Property-based round-trip suite for the packet layer.
+
+For every protocol the fingerprint features depend on (DHCP, DNS, SSDP,
+ARP, NTP), ``build → decode → rebuild`` must be byte-identical: the
+message a generator emits, once unpacked and repacked, yields the exact
+same wire bytes and an equal dataclass.  The truncation tests pin the
+failure mode down too: cut inputs raise :class:`DecodeError` cleanly
+instead of mis-parsing or leaking ``struct.error``/``IndexError``.
+
+Generator caveats mirror the codecs' normal forms:
+
+* NTP transmit times use ``seconds + k/2**16`` so the 32.32 fixed-point
+  encoding is exact through the float64 pipeline.
+* DNS qclass/rclass stay below 0x8000 (the decoder masks the top bit).
+* SSDP header tokens are whitespace-free (the decoder strips) and keys
+  carry no ``:`` (the decoder splits on the first one).
+* A BOOTP message without the magic cookie carries no options.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import arp, builder, decoder, dhcp, dns, ntp, ssdp
+from repro.packets.base import DecodeError
+
+# --- shared field strategies -------------------------------------------------
+
+macs = st.integers(min_value=0, max_value=2**48 - 1).map(
+    lambda v: ":".join(f"{(v >> s) & 0xFF:02x}" for s in range(40, -8, -8))
+)
+ipv4s = st.tuples(*[st.integers(min_value=0, max_value=255)] * 4).map(
+    lambda quad: ".".join(str(b) for b in quad)
+)
+
+
+def assert_roundtrip(message):
+    """pack → unpack → pack is byte-identical and value-identical."""
+    wire = message.pack()
+    decoded, rest = type(message).unpack(wire)
+    assert rest == b""
+    assert decoded == message
+    assert decoded.pack() == wire
+
+
+# --- DHCP / BOOTP ------------------------------------------------------------
+
+dhcp_options = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=254),  # not PAD, not END
+        st.binary(max_size=10),
+    ),
+    max_size=4,
+).map(tuple)
+
+
+def _dhcp_messages(has_cookie: bool):
+    return st.builds(
+        dhcp.DHCPMessage,
+        op=st.sampled_from([dhcp.OP_REQUEST, dhcp.OP_REPLY]),
+        xid=st.integers(min_value=0, max_value=2**32 - 1),
+        client_mac=macs,
+        ciaddr=ipv4s,
+        yiaddr=ipv4s,
+        siaddr=ipv4s,
+        giaddr=ipv4s,
+        # Cookieless BOOTP has nowhere to put options; pack drops them.
+        options=dhcp_options if has_cookie else st.just(()),
+        has_cookie=st.just(has_cookie),
+    )
+
+
+dhcp_messages = st.booleans().flatmap(_dhcp_messages)
+
+
+class TestDHCPRoundTrip:
+    @given(dhcp_messages)
+    def test_pack_unpack_identity(self, message):
+        assert_roundtrip(message)
+
+    @given(_dhcp_messages(has_cookie=False))
+    def test_bootp_stays_optionless(self, message):
+        decoded, _ = dhcp.DHCPMessage.unpack(message.pack())
+        assert not decoded.has_cookie
+        assert decoded.options == ()
+
+    @given(st.integers(min_value=0, max_value=235))
+    def test_truncated_header_raises(self, cut):
+        wire = dhcp.discover("aa:bb:cc:dd:ee:01", xid=7, hostname="cam").pack()
+        with pytest.raises(DecodeError):
+            dhcp.DHCPMessage.unpack(wire[:cut])
+
+    def test_truncated_option_raises(self):
+        message = dhcp.DHCPMessage(
+            op=dhcp.OP_REQUEST,
+            xid=1,
+            client_mac="aa:bb:cc:dd:ee:01",
+            options=((dhcp.OPTION_MESSAGE_TYPE, bytes((dhcp.DHCPDISCOVER,))),),
+        )
+        wire = message.pack()  # 236 fixed + 4 cookie + (code, len, value) + END
+        with pytest.raises(DecodeError, match="truncated DHCP option"):
+            dhcp.DHCPMessage.unpack(wire[:241])  # code byte, no length byte
+        with pytest.raises(DecodeError, match="truncated DHCP option value"):
+            dhcp.DHCPMessage.unpack(wire[:242])  # length byte, value cut
+
+
+# --- DNS ---------------------------------------------------------------------
+
+dns_labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=10
+)
+dns_names = st.lists(dns_labels, min_size=1, max_size=4).map(".".join)
+dns_questions = st.builds(
+    dns.DNSQuestion,
+    name=dns_names,
+    qtype=st.sampled_from([dns.TYPE_A, dns.TYPE_PTR, dns.TYPE_TXT, dns.TYPE_SRV]),
+    qclass=st.integers(min_value=0, max_value=0x7FFF),
+)
+dns_records = st.builds(
+    dns.DNSRecord,
+    name=dns_names,
+    rtype=st.integers(min_value=0, max_value=0xFFFF),
+    rclass=st.integers(min_value=0, max_value=0x7FFF),
+    ttl=st.integers(min_value=0, max_value=2**32 - 1),
+    rdata=st.binary(max_size=16),
+)
+dns_messages = st.builds(
+    dns.DNSMessage,
+    txid=st.integers(min_value=0, max_value=0xFFFF),
+    is_response=st.booleans(),
+    questions=st.lists(dns_questions, max_size=3).map(tuple),
+    answers=st.lists(dns_records, max_size=2).map(tuple),
+    authorities=st.lists(dns_records, max_size=2).map(tuple),
+    additionals=st.lists(dns_records, max_size=2).map(tuple),
+)
+
+
+class TestDNSRoundTrip:
+    @given(dns_messages)
+    def test_pack_unpack_identity(self, message):
+        assert_roundtrip(message)
+
+    @given(dns_messages, st.data())
+    def test_any_strict_prefix_raises(self, message, data):
+        wire = message.pack()
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        with pytest.raises(DecodeError):
+            dns.DNSMessage.unpack(wire[:cut])
+
+
+# --- SSDP --------------------------------------------------------------------
+
+_token_alphabet = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+ssdp_keys = st.text(alphabet=_token_alphabet, min_size=1, max_size=12)
+ssdp_values = st.text(alphabet=_token_alphabet + ':"/=,', max_size=20)
+ssdp_messages = st.builds(
+    ssdp.SSDPMessage,
+    start_line=st.sampled_from([line.decode("ascii") for line in ssdp._START_LINES]),
+    headers=st.lists(st.tuples(ssdp_keys, ssdp_values), max_size=5).map(tuple),
+)
+
+
+class TestSSDPRoundTrip:
+    @given(ssdp_messages)
+    def test_pack_unpack_identity(self, message):
+        assert_roundtrip(message)
+
+    @given(ssdp_messages, st.data())
+    def test_cut_start_line_raises(self, message, data):
+        wire = message.pack()
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(message.start_line) - 1)
+        )
+        with pytest.raises(DecodeError):
+            ssdp.SSDPMessage.unpack(wire[:cut])
+
+
+# --- ARP ---------------------------------------------------------------------
+
+arp_packets = st.builds(
+    arp.ARPPacket,
+    op=st.sampled_from([arp.OP_REQUEST, arp.OP_REPLY]),
+    sender_mac=macs,
+    sender_ip=ipv4s,
+    target_mac=macs,
+    target_ip=ipv4s,
+)
+
+
+class TestARPRoundTrip:
+    @given(arp_packets)
+    def test_pack_unpack_identity(self, packet):
+        assert_roundtrip(packet)
+
+    @given(arp_packets, st.data())
+    def test_any_strict_prefix_raises(self, packet, data):
+        wire = packet.pack()
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        with pytest.raises(DecodeError):
+            arp.ARPPacket.unpack(wire[:cut])
+
+
+# --- NTP ---------------------------------------------------------------------
+
+# seconds + k/2**16 needs 48 significand bits end to end (32 for the
+# NTP-epoch seconds, 16 for the fraction), so float64 carries it exactly
+# through pack's 32.32 fixed-point conversion and back.
+ntp_times = st.tuples(
+    st.integers(min_value=0, max_value=2_000_000_000),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+).map(lambda sf: sf[0] + sf[1] / (1 << 16))
+ntp_packets = st.builds(
+    ntp.NTPPacket,
+    mode=st.integers(min_value=0, max_value=7),
+    version=st.integers(min_value=0, max_value=7),
+    leap=st.integers(min_value=0, max_value=3),
+    stratum=st.integers(min_value=0, max_value=255),
+    poll=st.integers(min_value=0, max_value=255),
+    precision=st.integers(min_value=-128, max_value=127),
+    transmit_time=ntp_times,
+)
+
+
+class TestNTPRoundTrip:
+    @given(ntp_packets)
+    def test_pack_unpack_identity(self, packet):
+        assert_roundtrip(packet)
+
+    @given(st.integers(min_value=0, max_value=47))
+    def test_any_strict_prefix_raises(self, cut):
+        wire = ntp.client_request(transmit_time=1000.5).pack()
+        assert len(wire) == 48
+        with pytest.raises(DecodeError):
+            ntp.NTPPacket.unpack(wire[:cut])
+
+
+# --- decoder-level truncation fuzz -------------------------------------------
+
+
+class TestDecoderTruncation:
+    """Whole-frame truncation never escapes as a non-DecodeError crash."""
+
+    def frames(self):
+        mac, gw = "aa:bb:cc:dd:ee:01", "02:00:00:00:00:01"
+        return [
+            builder.dhcp_discover_frame(mac, 1, "cam"),
+            builder.arp_probe_frame(mac, "192.168.1.20"),
+            builder.dns_query_frame(mac, gw, "192.168.1.20", "192.168.1.1", "a.example"),
+            builder.ntp_request_frame(mac, gw, "192.168.1.20", "17.253.14.125"),
+            builder.ssdp_msearch_frame(mac, "192.168.1.20"),
+        ]
+
+    @given(st.data())
+    def test_truncated_frames_decode_cleanly(self, data):
+        frame = data.draw(st.sampled_from(self.frames()))
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        try:
+            packet = decoder.decode(frame[:cut])
+        except DecodeError:
+            return  # clean, typed failure is acceptable
+        # Otherwise the decoder degraded gracefully: whatever layers it
+        # did parse must be internally consistent (repack never crashes).
+        for layer in packet.layers:
+            if hasattr(layer, "pack"):
+                layer.pack()
