@@ -124,6 +124,37 @@ class Fingerprint:
             label=label,
         )
 
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        *,
+        device_mac: str = "",
+        label: str | None = None,
+    ) -> "Fingerprint":
+        """Construct from an ``(n, NUM_FEATURES)`` feature matrix (applies dedup).
+
+        The batch twin of :meth:`from_vectors` — consecutive-duplicate
+        removal happens as one vectorized row comparison instead of a
+        Python loop, producing a byte-identical fingerprint (note that a
+        NaN entry makes a row compare unequal to itself under both
+        ``np.array_equal`` and elementwise ``!=``, so even that edge
+        agrees).
+        """
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.ndim != 2 or m.shape[1] != NUM_FEATURES:
+            raise ValueError(f"feature matrix must have {NUM_FEATURES} columns")
+        if m.shape[0]:
+            keep = np.empty(m.shape[0], dtype=bool)
+            keep[0] = True
+            np.any(m[1:] != m[:-1], axis=1, out=keep[1:])
+            m = m[keep]
+        return cls(
+            packets=tuple(tuple(row) for row in m.tolist()),
+            device_mac=device_mac,
+            label=label,
+        )
+
     def __len__(self) -> int:
         return len(self.packets)
 

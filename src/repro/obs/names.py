@@ -27,6 +27,7 @@ __all__ = [
     "SPAN_CLASSIFY_BANK",
     "SPAN_DISCRIMINATE",
     "SPAN_EXTRACT",
+    "SPAN_EXTRACT_BATCH",
     "SPAN_TRAIN_FIT",
     "SPAN_TRAIN_TYPE",
     "SPAN_PARALLEL_MAP",
@@ -38,6 +39,7 @@ __all__ = [
     "SPAN_GATEWAY_BATCH",
     # metrics
     "METRIC_PACKETS_SEEN",
+    "METRIC_PACKETS_DROPPED",
     "METRIC_SESSIONS_OPENED",
     "METRIC_SESSIONS_COMPLETED",
     "METRIC_DETECTOR_FIRES",
@@ -80,6 +82,8 @@ SPAN_CLASSIFY_BANK = "identify.classify.bank"
 SPAN_DISCRIMINATE = "identify.discriminate"
 #: Packet records -> fingerprint (Table IV "Fingerprint extraction").
 SPAN_EXTRACT = "extract.fingerprint"
+#: Columnar batch parse + vectorized feature matrix -> fingerprint.
+SPAN_EXTRACT_BATCH = "extract.batch"
 #: Bulk-training the whole classifier bank (``DeviceIdentifier.fit``).
 SPAN_TRAIN_FIT = "train.fit"
 #: Training one device type's binary forest + reference selection.
@@ -103,6 +107,9 @@ SPAN_GATEWAY_BATCH = "gateway.process_batch"
 
 #: Every frame fed to ``DeviceMonitor.observe`` (Fig. 6 traffic overhead).
 METRIC_PACKETS_SEEN = "monitor_packets_seen_total"
+#: Frames the monitor discarded instead of feeding to a session, labelled
+#: ``reason`` (``"clock"``: capture timestamp went backwards).
+METRIC_PACKETS_DROPPED = "monitor_packets_dropped_total"
 #: Profiling sessions opened, labelled ``mode="setup"|"standby"``.
 METRIC_SESSIONS_OPENED = "monitor_sessions_opened_total"
 #: Profiling sessions completed, labelled ``mode="setup"|"standby"``.
@@ -162,6 +169,7 @@ SPAN_NAMES = frozenset(
         SPAN_CLASSIFY_BANK,
         SPAN_DISCRIMINATE,
         SPAN_EXTRACT,
+        SPAN_EXTRACT_BATCH,
         SPAN_TRAIN_FIT,
         SPAN_TRAIN_TYPE,
         SPAN_PARALLEL_MAP,
@@ -178,6 +186,7 @@ SPAN_NAMES = frozenset(
 METRIC_NAMES = frozenset(
     {
         METRIC_PACKETS_SEEN,
+        METRIC_PACKETS_DROPPED,
         METRIC_SESSIONS_OPENED,
         METRIC_SESSIONS_COMPLETED,
         METRIC_DETECTOR_FIRES,

@@ -12,6 +12,7 @@ Public entry points:
 """
 
 from .base import DecodeError, EncodeError, PacketError
+from .batch import FLAG_NAMES, PacketBatch
 from .decoder import DecodedPacket, decode
 from .pcap import CaptureRecord, PcapFile, read_capture, read_pcap, write_pcap
 from .pcapng import read_pcapng
@@ -21,6 +22,8 @@ __all__ = [
     "DecodeError",
     "DecodedPacket",
     "EncodeError",
+    "FLAG_NAMES",
+    "PacketBatch",
     "PacketError",
     "PcapFile",
     "decode",

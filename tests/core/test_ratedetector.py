@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core import FingerprintExtractor, RateDropDetector, fingerprint_from_records
+from repro.core import (
+    FingerprintExtractor,
+    RateDropDetector,
+    SetupPhaseDetector,
+    fingerprint_from_records,
+)
 from repro.devices import profile_by_name, simulate_setup_capture
 from repro.packets import CaptureRecord, builder
 
@@ -29,10 +34,37 @@ class TestRateDropDetector:
             assert not detector.observe(i * 4.0)
 
     def test_max_packets_cap(self):
+        # The cap admits exactly max_packets packets; the *next* one
+        # triggers and is not part of the phase (SetupPhaseDetector
+        # convention).  The pre-fix code appended before testing, firing
+        # one packet early and retaining the trigger in its window.
         detector = RateDropDetector(max_packets=5)
-        for i in range(4):
-            assert not detector.observe(i * 0.1)
+        for i in range(5):
+            assert not detector.observe(i * 0.1), i
         assert detector.observe(0.5)
+
+    def test_max_packets_cap_parity_with_setup_phase_detector(self):
+        """Both detectors cap on the same packet index for equal max_packets."""
+        times = [i * 0.1 for i in range(10)]
+        for cap in (4, 5, 6):
+            rate = RateDropDetector(max_packets=cap, warmup=100)
+            idle = SetupPhaseDetector(max_packets=cap, min_packets=100)
+            fired_rate = [rate.observe(t) for t in times]
+            fired_idle = [idle.observe(t) for t in times]
+            assert fired_rate == fired_idle, cap
+            assert fired_rate.index(True) == cap, cap
+
+    def test_cap_trigger_packet_not_counted_by_extractor(self):
+        """A cap-triggering packet is excluded from the fingerprint."""
+        mac = "aa:bb:cc:dd:ee:01"
+        extractor = FingerprintExtractor(mac, detector=RateDropDetector(max_packets=3))
+        from repro.packets import decode
+
+        frame = builder.arp_probe_frame(mac, "192.168.1.5")
+        for i in range(3):
+            assert not extractor.add(i * 0.1, decode(frame))
+        assert extractor.add(0.3, decode(frame))
+        assert extractor.packet_count == 3
 
     def test_max_duration_cap(self):
         detector = RateDropDetector(max_duration=10.0, warmup=100)
@@ -44,6 +76,37 @@ class TestRateDropDetector:
         detector.observe(5.0)
         with pytest.raises(ValueError):
             detector.observe(4.0)
+
+    def test_rampup_rate_uses_observed_span(self):
+        """Early peak reflects the true packet rate, not the diluted one.
+
+        Five packets one second apart have a windowed rate of ~1 pkt/s.
+        The pre-fix code divided by the full 10 s window before it had
+        filled, understating the peak 10×; a later 0.4 pkt/s trickle then
+        failed to register as a drop and the phase never ended.
+        """
+        detector = RateDropDetector(window=10.0, drop_fraction=0.5, warmup=4)
+        for i in range(5):
+            assert not detector.observe(float(i)), i
+        # Four packets left in the 10 s window: rate 0.4/s, far below
+        # half of the ramp-up peak (2 packets over a 1 s span = 2/s).
+        assert detector.observe(12.0)
+
+    def test_simultaneous_packets_no_zero_division(self):
+        """Zero observed span falls back to the nominal window width."""
+        detector = RateDropDetector(window=10.0, warmup=2)
+        assert not detector.observe(1.0)
+        assert not detector.observe(1.0)
+        assert not detector.observe(1.0)
+
+    def test_window_is_pruned(self):
+        """Old timestamps leave the deque: O(window) state, not O(n)."""
+        detector = RateDropDetector(
+            window=10.0, warmup=4, max_packets=5000, max_duration=1e9
+        )
+        for i in range(2000):
+            assert not detector.observe(float(i)), i
+        assert len(detector._times) <= 12
 
     def test_reset(self):
         detector = RateDropDetector(window=10.0, warmup=2)
@@ -82,7 +145,12 @@ class TestRateDropDetector:
                 CaptureRecord(tail_time + 240.0, builder.arp_announce_frame(mac, "192.168.1.20")),
             ]
             idle = fingerprint_from_records(records, mac)
+            # With the span-corrected denominator the windowed rate tracks
+            # the true packet rate, so intra-burst jitter shows up in the
+            # peak ratio (it bottoms out near 0.06 on these captures) while
+            # the standby tail sits below 0.003 — drop_fraction must sit in
+            # between.  The old full-width denominator hid that jitter.
             rate = fingerprint_from_records(
-                records, mac, detector=RateDropDetector(window=10.0, drop_fraction=0.25, warmup=4)
+                records, mac, detector=RateDropDetector(window=10.0, drop_fraction=0.02, warmup=4)
             )
             assert rate.packets == idle.packets, name

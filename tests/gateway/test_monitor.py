@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import SetupPhaseDetector
 from repro.gateway import DeviceMonitor
+from repro.obs import RecordingProvider, metrics_snapshot, use_provider
 from repro.packets import builder, decode
 
 MAC = "aa:bb:cc:dd:ee:01"
@@ -94,6 +95,50 @@ class TestMonitor:
         monitor.mark_profiled(MAC)
         assert monitor.is_profiled(MAC)
         assert monitor.observe(0.0, packets()[0]) is None
+
+    def test_out_of_order_timestamp_dropped_and_counted(self):
+        """One bad capture clock must not abort the observation sweep."""
+        monitor = DeviceMonitor(detector_factory=fast_detector)
+        with use_provider(RecordingProvider()) as provider:
+            monitor.observe(10.0, packets()[0])
+            monitor.observe(5.0, packets()[1])  # clock ran backwards: dropped
+            monitor.observe(10.5, packets()[2])
+        assert monitor.is_profiling(MAC)
+        samples = metrics_snapshot(provider.metrics)
+        dropped = samples["monitor_packets_dropped_total"]["samples"]
+        assert dropped == [{"labels": {"reason": "clock"}, "value": 1.0}]
+        # The session only holds the packets with sane timestamps.
+        assert monitor._sessions[MAC].packet_count == 2
+
+    def test_out_of_order_timestamp_does_not_complete_session(self):
+        monitor = DeviceMonitor(detector_factory=fast_detector)
+        t = 0.0
+        for packet in packets():
+            assert monitor.observe(t, packet) is None
+            t += 0.3
+        assert monitor.observe(0.0, packets()[0]) is None  # dropped, not fired
+        assert monitor.is_profiling(MAC)
+        # A sane timestamp past the idle gap still completes normally.
+        assert monitor.observe(t + 50.0, packets()[0]) is not None
+
+    def test_forget_updates_buffered_gauge(self):
+        """Evicting a buffered completion must re-publish the buffer depth."""
+        monitor = DeviceMonitor(detector_factory=fast_detector, buffer_completions=True)
+        with use_provider(RecordingProvider()) as provider:
+            t = 0.0
+            for packet in packets():
+                monitor.observe(t, packet)
+                t += 0.3
+            monitor.observe(t + 50.0, packets()[0])  # completes, buffers
+
+            def gauge():
+                samples = metrics_snapshot(provider.metrics)
+                return samples["monitor_completions_buffered"]["samples"][0]["value"]
+
+            assert gauge() == 1.0
+            monitor.forget(MAC)
+            assert gauge() == 0.0
+            assert monitor.drain_completed() == []
 
     def test_standby_profiling_mode(self):
         monitor = DeviceMonitor(detector_factory=fast_detector)
