@@ -15,7 +15,6 @@ import time
 import numpy as np
 from conftest import write_result
 
-from repro.core import DeviceIdentifier
 from repro.core.editdistance import damerau_levenshtein, damerau_levenshtein_unrestricted
 from repro.reporting import render_table
 

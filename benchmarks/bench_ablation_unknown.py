@@ -9,7 +9,6 @@ measures how the held-out type's fingerprints are handled.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import write_result
 
 from repro.core import DeviceIdentifier, DeviceTypeRegistry

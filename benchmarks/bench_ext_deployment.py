@@ -10,7 +10,6 @@ steady-state forwarding (flow-table hits) is identical.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import write_result
 
 from repro.netsim import ServiceCosts

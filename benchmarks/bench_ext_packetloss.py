@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 from conftest import write_result
 
-from repro.core import DeviceIdentifier, fingerprint_from_records
+from repro.core import fingerprint_from_records
 from repro.devices import DEVICE_PROFILES, simulate_setup_capture
 from repro.reporting import render_series
 

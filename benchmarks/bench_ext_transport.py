@@ -13,7 +13,6 @@ import time
 
 from conftest import write_result
 
-from repro.core import DeviceIdentifier
 from repro.reporting import render_table
 from repro.securityservice import (
     AnonymizingTransport,

@@ -15,7 +15,7 @@ from pathlib import Path
 
 from repro.core import DeviceIdentifier, DeviceTypeRegistry, fingerprint_from_records
 from repro.devices import profile_by_name
-from repro.labtools import CollectionCampaign, load_manifest, setup_script
+from repro.labtools import CollectionCampaign, setup_script
 from repro.packets import read_capture
 
 DEVICES = ("Aria", "HueBridge", "EdimaxCam", "WeMoSwitch")

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.ml.forest import RandomForestClassifier
 
-from .features import FEATURE_NAMES, NUM_FEATURES
+from .features import FEATURE_NAMES
 from .fingerprint import DEFAULT_FP_PACKETS, Fingerprint
 from .registry import DeviceTypeRegistry
 

@@ -16,6 +16,7 @@ extraction" row) — see ``docs/observability.md``.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -248,7 +249,7 @@ class FingerprintExtractor:
 
     def add_batch(
         self,
-        timestamps,
+        timestamps: Sequence[float] | np.ndarray,
         batch: PacketBatch,
         rows: list[int] | np.ndarray | None = None,
     ) -> tuple[int, bool]:
@@ -293,7 +294,9 @@ class FingerprintExtractor:
             raise error
         return accepted, False
 
-    def _observe_chunk(self, timestamps, n: int):
+    def _observe_chunk(
+        self, timestamps: Sequence[float] | np.ndarray, n: int
+    ) -> tuple[int, bool, ValueError | None]:
         """Run the detector over a chunk; returns ``(accepted, done, error)``.
 
         The error (a backwards-timestamp ValueError) is returned rather

@@ -377,7 +377,7 @@ def warm_start_identifier(
     *,
     random_state: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
-    **hyper_params,
+    **hyper_params: object,
 ) -> tuple[DeviceIdentifier, bool]:
     """Train-or-load an identifier through the model store.
 

@@ -18,7 +18,7 @@ this reproduces both the ≥0.95 accuracy of the 17 distinct types and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .behavior import SetupDialogue, SetupStep, step
 

@@ -11,8 +11,6 @@ the response frames the home network would produce.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.packets import builder, decode
 from repro.packets.arp import ARPPacket
 from repro.packets.dhcp import DHCPMessage

@@ -13,6 +13,7 @@ counters behind the Fig. 6 overhead view; see ``docs/observability.md``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.core.extractor import FingerprintExtractor, SetupPhaseDetector
@@ -62,6 +63,10 @@ class DeviceMonitor:
         self._modes: dict[str, str] = {}
         self._profiled: set[str] = set()
         self.buffer_completions = buffer_completions
+        # The completion buffer is the one piece of monitor state a drain
+        # sweep may read from another thread than the capture loop writes
+        # from; every ``_completed`` access happens under this lock.
+        self._lock = threading.Lock()
         self._completed: list[MonitorEvent] = []
 
     # --- bookkeeping --------------------------------------------------------
@@ -91,9 +96,10 @@ class DeviceMonitor:
         self._sessions.pop(mac, None)
         self._modes.pop(mac, None)
         self._profiled.discard(mac)
-        if self._completed:
-            self._completed = [e for e in self._completed if e.device_mac != mac]
-            self._sync_buffered_gauge()
+        with self._lock:
+            if self._completed:
+                self._completed = [e for e in self._completed if e.device_mac != mac]
+                self._sync_buffered_gauge()
 
     def mark_profiled(self, mac: str) -> None:
         """Record a device as already profiled without a capture session.
@@ -149,8 +155,9 @@ class DeviceMonitor:
             obs_counter(obs_names.METRIC_DETECTOR_FIRES).inc()
             event = self._complete(mac)
             if self.buffer_completions:
-                self._completed.append(event)
-                self._sync_buffered_gauge()
+                with self._lock:
+                    self._completed.append(event)
+                    self._sync_buffered_gauge()
                 return None
             return event
         return None
@@ -222,18 +229,20 @@ class DeviceMonitor:
                 obs_counter(obs_names.METRIC_DETECTOR_FIRES).inc()
                 event = self._complete(mac)
                 if self.buffer_completions:
-                    self._completed.append(event)
-                    self._sync_buffered_gauge()
+                    with self._lock:
+                        self._completed.append(event)
+                        self._sync_buffered_gauge()
                 else:
                     events.append(event)
         return events
 
     def drain_completed(self) -> list[MonitorEvent]:
         """Take (and clear) the buffered completion events, oldest first."""
-        events = self._completed
-        self._completed = []
-        if events:
-            self._sync_buffered_gauge()
+        with self._lock:
+            events = self._completed
+            self._completed = []
+            if events:
+                self._sync_buffered_gauge()
         return events
 
     def flush(self, mac: str) -> MonitorEvent | None:

@@ -21,6 +21,7 @@ and a dedicated CI step, the same discipline ``ml/compiled.py`` follows.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -453,7 +454,9 @@ class PacketBatch:
         return len(self.src_macs)
 
     @classmethod
-    def from_frames(cls, frames, timestamps) -> "PacketBatch":
+    def from_frames(
+        cls, frames: Sequence[bytes], timestamps: Sequence[float] | np.ndarray
+    ) -> "PacketBatch":
         """Parse raw Ethernet frames once into columns."""
         mac_strs: dict = {}
         ip_strs: dict = {}
@@ -507,7 +510,7 @@ class PacketBatch:
         shifts = np.arange(len(FLAG_NAMES), dtype=np.uint32)
         return ((self.flag_bits[:, None] >> shifts) & 1).astype(np.uint8)
 
-    def take(self, indices) -> "PacketBatch":
+    def take(self, indices: Sequence[int] | np.ndarray) -> "PacketBatch":
         """Row subset (e.g. one device's packets), order preserved."""
         idx = np.asarray(indices, dtype=np.intp)
         return PacketBatch(

@@ -10,7 +10,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from .base import require
+from .base import EncodeError, require
 
 VERSION_2001 = 1
 VERSION_2004 = 2
@@ -59,7 +59,7 @@ def eapol_key_frame(message_index: int) -> EAPOLFrame:
     protocol identity — payload content is never inspected).
     """
     if message_index not in (1, 2, 3, 4):
-        raise ValueError("4-way handshake has messages 1-4")
+        raise EncodeError("4-way handshake has messages 1-4")
     # Key information flags per message (pairwise, ack, mic, secure bits).
     key_info = {1: 0x008A, 2: 0x010A, 3: 0x13CA, 4: 0x030A}[message_index]
     body = struct.pack("!BH", KEY_DESCRIPTOR_RSN, key_info)

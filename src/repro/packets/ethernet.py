@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .base import DecodeError, EncodeError, mac_to_bytes, mac_to_str, require
+from .base import EncodeError, mac_to_bytes, mac_to_str, require
 
 # EtherType values used by the feature extractor.
 ETHERTYPE_IPV4 = 0x0800

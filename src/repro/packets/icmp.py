@@ -10,7 +10,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from .base import inet_checksum, require
+from .base import EncodeError, inet_checksum, require
 from .ipv6 import pseudo_header_v6
 
 # ICMPv4 types
@@ -95,7 +95,7 @@ def router_solicitation() -> ICMPv6Message:
 def neighbor_solicitation(target: bytes) -> ICMPv6Message:
     """RFC 4861 neighbour solicitation for duplicate address detection."""
     if len(target) != 16:
-        raise ValueError("target must be a 16-byte IPv6 address")
+        raise EncodeError("target must be a 16-byte IPv6 address")
     return ICMPv6Message(icmp_type=ICMPV6_NEIGHBOR_SOLICIT, body=b"\x00" * 4 + target)
 
 

@@ -56,7 +56,9 @@ def _parse_shb(body: bytes, state: _SectionState) -> None:
 def _option_value(options: bytes, prefix: str, wanted_code: int) -> bytes | None:
     i = 0
     while i + 4 <= len(options):
-        code, length = struct.unpack_from(prefix + "HH", options, i)  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+        code, length = struct.unpack_from(
+            prefix + "HH", options, i  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+        )
         i += 4
         if code == 0:  # opt_endofopt
             return None
@@ -70,7 +72,9 @@ def _option_value(options: bytes, prefix: str, wanted_code: int) -> bytes | None
 def _parse_idb(body: bytes, state: _SectionState) -> None:
     if len(body) < 8:
         raise DecodeError("truncated interface description block")
-    linktype, _reserved, snaplen = struct.unpack_from(state.prefix + "HHI", body)  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+    linktype, _reserved, snaplen = struct.unpack_from(
+        state.prefix + "HHI", body  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+    )
     if state.linktype is None:
         state.linktype = linktype
         state.snaplen = snaplen or 65535
@@ -131,7 +135,9 @@ def read_pcapng(source: str | Path | BinaryIO) -> PcapFile:
             if len(peek) != 4:
                 raise DecodeError("truncated section header block")
             prefix = "<" if struct.unpack("<I", peek)[0] == BYTE_ORDER_MAGIC else ">"
-            total_length = struct.unpack(prefix + "I", head[4:8])[0]  # sentinel-lint: disable=SL003 -- prefix just derived from magic
+            total_length = struct.unpack(
+                prefix + "I", head[4:8]  # sentinel-lint: disable=SL003 -- prefix just derived from magic
+            )[0]
             body = peek + source.read(total_length - 16)
             trailer = source.read(4)
             if len(body) != total_length - 12 or len(trailer) != 4:
@@ -141,8 +147,12 @@ def read_pcapng(source: str | Path | BinaryIO) -> PcapFile:
             continue
         if first:
             raise DecodeError("pcapng must start with a section header block")
-        block_type = struct.unpack(state.prefix + "I", head[:4])[0]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
-        total_length = struct.unpack(state.prefix + "I", head[4:8])[0]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+        block_type = struct.unpack(
+            state.prefix + "I", head[:4]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+        )[0]
+        total_length = struct.unpack(
+            state.prefix + "I", head[4:8]  # sentinel-lint: disable=SL003 -- prefix from SHB magic
+        )[0]
         if total_length < 12 or total_length % 4:
             raise DecodeError(f"bad pcapng block length {total_length}")
         body = source.read(total_length - 12)

@@ -55,7 +55,8 @@ class FlowPolicy:
         return True
 
     def key(self) -> str:
-        return f"{int(self.allow)}|{self.protocol or '*'}|{self.dst_port if self.dst_port is not None else '*'}|{self.dst_ip or '*'}"
+        port = self.dst_port if self.dst_port is not None else "*"
+        return f"{int(self.allow)}|{self.protocol or '*'}|{port}|{self.dst_ip or '*'}"
 
 #: Approximate bytes of cache overhead per stored rule (dict slot, object
 #: header, key) used by the memory model; endpoint strings are counted

@@ -28,6 +28,7 @@ timestamps.  See ``docs/robustness.md`` for the failure model.
 from __future__ import annotations
 
 import random
+import threading
 from collections import deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
@@ -227,6 +228,10 @@ class CircuitBreaker:
         self.reset_timeout = reset_timeout
         self.half_open_successes = half_open_successes
         self.on_transition = on_transition
+        # Re-entrant because allow/record_* hold the lock across their
+        # call into _transition.  All breaker state below is mutated
+        # under it — gateways may drive one breaker from several sweeps.
+        self._lock = threading.RLock()
         self.state = BreakerState.CLOSED
         self.transitions: list[tuple[BreakerState, BreakerState, float]] = []
         self._consecutive_failures = 0
@@ -239,47 +244,55 @@ class CircuitBreaker:
         return self._opened_at + self.reset_timeout
 
     def _transition(self, new: BreakerState, now: float) -> None:
-        old = self.state
-        if old is new:
-            return
-        self.state = new
-        self.transitions.append((old, new, now))
-        obs_counter(
-            obs_names.METRIC_BREAKER_TRANSITIONS,
-            from_state=old.value,
-            to_state=new.value,
-        ).inc()
-        if self.on_transition is not None:
-            self.on_transition(old, new, now)
+        # ``on_transition`` fires with the lock held: callbacks observe a
+        # consistent (state, transitions) pair but must not call back into
+        # a *different* breaker that might be transitioning towards this
+        # one.  The in-tree callbacks only log and count.
+        with self._lock:
+            old = self.state
+            if old is new:
+                return
+            self.state = new
+            self.transitions.append((old, new, now))
+            obs_counter(
+                obs_names.METRIC_BREAKER_TRANSITIONS,
+                from_state=old.value,
+                to_state=new.value,
+            ).inc()
+            if self.on_transition is not None:
+                self.on_transition(old, new, now)
 
     def allow(self, now: float) -> bool:
         """May a call proceed at ``now``?  (OPEN → HALF_OPEN happens here.)"""
-        if self.state is BreakerState.OPEN:
-            if now - self._opened_at >= self.reset_timeout:
-                self._half_open_streak = 0
-                self._transition(BreakerState.HALF_OPEN, now)
-                return True
-            return False
-        return True
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                if now - self._opened_at >= self.reset_timeout:
+                    self._half_open_streak = 0
+                    self._transition(BreakerState.HALF_OPEN, now)
+                    return True
+                return False
+            return True
 
     def record_success(self, now: float) -> None:
-        self._consecutive_failures = 0
-        if self.state is BreakerState.HALF_OPEN:
-            self._half_open_streak += 1
-            if self._half_open_streak >= self.half_open_successes:
-                self._transition(BreakerState.CLOSED, now)
+        with self._lock:
+            self._consecutive_failures = 0
+            if self.state is BreakerState.HALF_OPEN:
+                self._half_open_streak += 1
+                if self._half_open_streak >= self.half_open_successes:
+                    self._transition(BreakerState.CLOSED, now)
 
     def record_failure(self, now: float) -> None:
-        if self.state is BreakerState.HALF_OPEN:
-            self._opened_at = now
-            self._transition(BreakerState.OPEN, now)
-            return
-        self._consecutive_failures += 1
-        if self.state is BreakerState.CLOSED and (
-            self._consecutive_failures >= self.failure_threshold
-        ):
-            self._opened_at = now
-            self._transition(BreakerState.OPEN, now)
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                self._opened_at = now
+                self._transition(BreakerState.OPEN, now)
+                return
+            self._consecutive_failures += 1
+            if self.state is BreakerState.CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = now
+                self._transition(BreakerState.OPEN, now)
 
 
 # --- the resilient wrapper ---------------------------------------------------

@@ -9,7 +9,7 @@ devices as vulnerable so that all three isolation levels are exercised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["VulnerabilityRecord", "VulnerabilityDatabase", "seed_database"]
 

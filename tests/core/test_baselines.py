@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DeviceTypeRegistry, Fingerprint, NUM_FEATURES
+from repro.core import DeviceTypeRegistry, Fingerprint
 from repro.core.baselines import (
     AGG_DISTINCT_DESTINATIONS,
     AGG_PACKET_COUNT,

@@ -1,7 +1,6 @@
 """Environment responder and bidirectional-capture robustness tests."""
 
 import numpy as np
-import pytest
 
 from repro.core import fingerprint_from_records
 from repro.devices import (

@@ -1,7 +1,6 @@
 """Standby-dialogue derivation and firmware-update drift units."""
 
 import numpy as np
-import pytest
 
 from repro.devices import (
     DEVICE_PROFILES,

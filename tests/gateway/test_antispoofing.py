@@ -1,7 +1,5 @@
 """Source-address validation via DHCP snooping."""
 
-import pytest
-
 from repro.gateway import SecurityGateway
 from repro.packets import builder
 from repro.sdn import IsolationLevel

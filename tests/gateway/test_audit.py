@@ -1,7 +1,5 @@
 """Audit-trail tests: the gateway records its decisions."""
 
-import pytest
-
 from repro.gateway import AuditEventType, AuditLog, SecurityGateway
 from repro.packets import builder
 from repro.sdn import IsolationLevel

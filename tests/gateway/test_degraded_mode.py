@@ -1,7 +1,5 @@
 """Degraded-mode reporting: provisional quarantine, retries, detach hygiene."""
 
-import pytest
-
 from repro.gateway import SecurityGateway
 from repro.gateway.audit import AuditEventType
 from repro.obs import RecordingProvider, metrics_snapshot, use_provider

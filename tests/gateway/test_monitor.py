@@ -1,7 +1,5 @@
 """Device monitor: new-MAC detection and profiling lifecycle."""
 
-import pytest
-
 from repro.core import SetupPhaseDetector
 from repro.gateway import DeviceMonitor
 from repro.obs import RecordingProvider, metrics_snapshot, use_provider

@@ -1,8 +1,5 @@
 """Attack scenario containment and CLI workflow tests."""
 
-import numpy as np
-import pytest
-
 from repro.attacks import (
     C2Beacon,
     DataExfiltration,

@@ -1,8 +1,5 @@
 """Lab tooling: setup scripts, collection campaigns, manifests."""
 
-import numpy as np
-import pytest
-
 from repro.core import fingerprint_from_records
 from repro.devices import DEVICE_PROFILES, profile_by_name
 from repro.labtools import (

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import DeviceIdentifier
 from repro.reporting import (
     TABLE5_PAIRS,
     crossvalidate_identification,

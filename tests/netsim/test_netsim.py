@@ -5,14 +5,10 @@ import pytest
 
 from repro.netsim import (
     DEFAULT_LINKS,
-    EventScheduler,
     FlowLoadGenerator,
     HopModel,
-    LabTopology,
-    LatencyProbe,
     MemoryModel,
     ServiceCosts,
-    SimulatedGateway,
     measure_rtt,
 )
 from repro.reporting import build_testbed

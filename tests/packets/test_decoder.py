@@ -1,7 +1,5 @@
 """Full-stack decoding: every builder recipe maps to the right feature facts."""
 
-import pytest
-
 from repro.packets import builder, decode
 
 MAC = "aa:bb:cc:dd:ee:01"

@@ -133,7 +133,7 @@ class TestICMP:
         assert packed_a[2:4] != packed_b[2:4]  # checksum differs with src
 
     def test_neighbor_solicitation_target_length(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(EncodeError):
             neighbor_solicitation(b"\x00" * 8)
 
     def test_mldv2_report_type(self):

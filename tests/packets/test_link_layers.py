@@ -133,7 +133,7 @@ class TestEAPOL:
         assert len(parsed.body) == 95
 
     def test_invalid_handshake_index(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(EncodeError):
             eapol_key_frame(5)
 
     def test_trailing_data_after_body(self):

@@ -1,7 +1,5 @@
 """OpenFlow match/action primitives and flow-table semantics."""
 
-import pytest
-
 from repro.packets import builder, decode
 from repro.sdn import Action, ActionType, FlowMatch, FlowRule, FlowTable
 

@@ -7,7 +7,11 @@ from . import (  # noqa: F401
     sl004_magic_dims,
     sl005_layering,
     sl006_mutable_defaults,
+    sl007_thread_shared,
+    sl008_exception_contract,
+    sl009_parity,
+    sl010_obs_names,
 )
-from .base import Checker
+from .base import Checker, ProjectChecker
 
-__all__ = ["Checker"]
+__all__ = ["Checker", "ProjectChecker"]

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import ast
+from typing import TYPE_CHECKING
 
 from ..findings import Finding
 from ..source import SourceFile
+
+if TYPE_CHECKING:  # flow imports checkers.base; avoid the cycle at runtime
+    from ..flow.project import Project
 
 
 class Checker:
@@ -34,6 +38,28 @@ class Checker:
             code=self.code,
             message=message,
         )
+
+
+class ProjectChecker(Checker):
+    """A flow-aware rule that sees the whole project at once.
+
+    Project checkers run after every file is loaded and a
+    :class:`~tools.sentinel_lint.flow.project.Project` index is built;
+    they implement :meth:`check_project` instead of :meth:`check`.
+    Findings still carry a path/line, so baseline entries and inline
+    suppressions apply exactly as for per-file checkers.
+    """
+
+    def check(self, src: SourceFile) -> list[Finding]:  # noqa: ARG002
+        return []
+
+    def check_project(self, project: "Project") -> list[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, src: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        return self.finding(src, node, message)
 
 
 def dotted_name(node: ast.expr) -> str | None:

@@ -1,0 +1,148 @@
+"""SL007: thread-shared instance state must be mutated under its lock.
+
+Two complementary detections, both over the project call graph:
+
+* **Reachability**: any function reachable from a thread-entry point
+  (a callable handed to ``ThreadPoolExecutor.submit``/``.map`` or
+  ``Thread(target=...)``) that writes a ``self`` attribute without
+  holding a ``with self.<lock>:`` region is flagged — whatever object
+  it belongs to, it is now shared across threads.
+* **Declared shared state**: classes listed in
+  :data:`~tools.sentinel_lint.config.THREAD_SHARED_STATE` — the
+  ``DeviceMonitor`` completion buffer and the ``CircuitBreaker`` state
+  machine — must guard every write to the listed attributes with a lock
+  attribute of the owning class, in *every* method (constructors
+  excepted: the object is not shared before ``__init__`` returns).
+
+A "lock attribute" is any ``self.X`` assigned from ``threading.Lock``,
+``RLock`` or ``Condition`` anywhere in the class.  The checker does not
+prove the *right* lock is held — only that writes to declared-shared
+state happen inside some owning-lock region, which is the reviewable
+invariant the differential tests cannot see.
+"""
+
+from __future__ import annotations
+
+from ..config import CONSTRUCTOR_METHODS, THREAD_SHARED_STATE
+from ..findings import Finding
+from ..flow.facts import FunctionFacts
+from ..flow.project import ClassInfo, Project
+from ..registry import register
+from .base import ProjectChecker
+
+#: Constructors (last dotted segment) that create a lock object.
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition"})
+
+
+def _class_lock_attrs(cls: ClassInfo, facts_of: dict[str, FunctionFacts]) -> set[str]:
+    """Attributes of ``cls`` assigned from a lock constructor."""
+    locks: set[str] = set()
+    for method in cls.methods.values():
+        facts = facts_of.get(method.qualname)
+        if facts is None:
+            continue
+        for attr, ctors in facts.self_attr_ctors.items():
+            if any(ctor.split(".")[-1] in _LOCK_CTORS for ctor in ctors):
+                locks.add(attr)
+    return locks
+
+
+def _holds_class_lock(locks_held: frozenset[str], lock_attrs: set[str]) -> bool:
+    return any(f"self.{attr}" in locks_held for attr in lock_attrs)
+
+
+@register
+class ThreadSharedStateChecker(ProjectChecker):
+    code = "SL007"
+    name = "thread-shared-state"
+    description = (
+        "instance attributes shared across threads (declared, or reachable from "
+        "a thread entry point) must be mutated under the owning lock"
+    )
+
+    def check_project(self, project: Project) -> list[Finding]:
+        graph = project.callgraph
+        findings: list[Finding] = []
+        findings.extend(self._check_declared(project, graph.facts))
+        findings.extend(self._check_reachable(project, graph))
+        return findings
+
+    # --- declared shared-state classes ---------------------------------------
+
+    def _check_declared(
+        self, project: Project, facts_of: dict[str, FunctionFacts]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls_qualname, shared_attrs in sorted(THREAD_SHARED_STATE.items()):
+            cls = project.class_of(cls_qualname)
+            if cls is None:
+                continue  # class not in the scanned set
+            lock_attrs = _class_lock_attrs(cls, facts_of)
+            for method_name, method in sorted(cls.methods.items()):
+                if method_name in CONSTRUCTOR_METHODS:
+                    continue
+                facts = facts_of.get(method.qualname)
+                if facts is None:
+                    continue
+                for mutation in facts.mutations:
+                    if mutation.attr not in shared_attrs:
+                        continue
+                    if not lock_attrs:
+                        findings.append(
+                            self.finding(
+                                method.src,
+                                mutation.node,
+                                f"{cls.name}.{mutation.attr} is declared "
+                                "thread-shared but the class defines no lock "
+                                "(expected a threading.Lock/RLock attribute "
+                                "guarding every write)",
+                            )
+                        )
+                    elif not _holds_class_lock(mutation.locks_held, lock_attrs):
+                        locks = ", ".join(f"self.{a}" for a in sorted(lock_attrs))
+                        findings.append(
+                            self.finding(
+                                method.src,
+                                mutation.node,
+                                f"{cls.name}.{method_name} writes thread-shared "
+                                f"attribute {mutation.attr!r} without holding "
+                                f"the owning lock ({locks})",
+                            )
+                        )
+        return findings
+
+    # --- thread-entry reachability --------------------------------------------
+
+    def _check_reachable(self, project: Project, graph) -> list[Finding]:
+        findings: list[Finding] = []
+        reachable = graph.reachable_from_thread_entries()
+        for qualname in sorted(reachable):
+            info = project.function(qualname)
+            facts = graph.facts.get(qualname)
+            if info is None or facts is None:
+                continue
+            if info.name in CONSTRUCTOR_METHODS:
+                continue
+            lock_attrs: set[str] = set()
+            if info.cls is not None:
+                cls = project.class_of(info.cls)
+                if cls is not None:
+                    lock_attrs = _class_lock_attrs(cls, graph.facts)
+            for mutation in facts.mutations:
+                if mutation.locks_held and (
+                    not lock_attrs or _holds_class_lock(mutation.locks_held, lock_attrs)
+                ):
+                    continue
+                chain = " -> ".join(
+                    name.split(".")[-1] for name in graph.path_to_entry(qualname)
+                )
+                findings.append(
+                    self.finding(
+                        info.src,
+                        mutation.node,
+                        f"{info.name} mutates attribute {mutation.attr!r} and is "
+                        f"reachable from a thread entry ({chain}); guard the "
+                        "write with a lock held via `with self.<lock>:`",
+                    )
+                )
+        return findings

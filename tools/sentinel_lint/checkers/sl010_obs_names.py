@@ -1,0 +1,273 @@
+"""SL010: observability-name discipline.
+
+``repro/obs/names.py`` is the single source of truth for span and metric
+names; ``docs/observability.md`` is its CI-checked human rendering.
+This checker closes the gaps the docs round-trip cannot see:
+
+* a **string literal** fed to ``span``/``counter``/``gauge``/``histogram``
+  inside ``src/repro`` (ad-hoc names bypass the docs check entirely and
+  fragment dashboards) — constants only;
+* a name **defined but never used** anywhere in the scanned tree
+  (full-``src`` runs only: an absence claim needs the whole index);
+* **label-set drift** — every call site of a metric must pass exactly
+  the label keys the docs table declares for it (the ``counter
+  (`mode`)`` column), and all call sites of one metric must agree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from ..config import (
+    OBS_DOCS_PATH,
+    OBS_NAME_AGGREGATES,
+    OBS_NAME_SINKS,
+    OBS_NAMES_FILE,
+    OBS_NON_LABEL_KWARGS,
+)
+from ..findings import Finding
+from ..flow.project import Project, module_name_for_path
+from ..registry import register
+from .base import ProjectChecker
+
+#: `name` | type (`label`, `label`) | ... rows of the docs metrics table.
+_DOCS_ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|\s*(?P<type>[^|]+)\|")
+_DOCS_LABEL = re.compile(r"`([^`]+)`")
+
+
+def _docs_label_sets(docs_text: str) -> dict[str, frozenset[str]]:
+    """metric name -> documented label keys, from the metrics table."""
+    labels: dict[str, frozenset[str]] = {}
+    in_metrics = False
+    for line in docs_text.splitlines():
+        if line.startswith("### Metrics"):
+            in_metrics = True
+            continue
+        if in_metrics and line.startswith("#"):
+            break
+        if not in_metrics:
+            continue
+        match = _DOCS_ROW.match(line)
+        if match is None:
+            continue
+        type_cell = match.group("type")
+        labels[match.group("name")] = frozenset(_DOCS_LABEL.findall(type_cell))
+    return labels
+
+
+def _defined_names(tree: ast.Module) -> dict[str, tuple[str | None, ast.AST]]:
+    """constant name -> (string value if literal, defining node)."""
+    names: dict[str, tuple[str | None, ast.AST]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if not (target.id.startswith("SPAN_") or target.id.startswith("METRIC_")):
+            continue
+        if target.id in OBS_NAME_AGGREGATES:
+            continue
+        value = (
+            node.value.value
+            if isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            else None
+        )
+        names[target.id] = (value, node)
+    return names
+
+
+class _SinkCall:
+    """One recognized ``span``/``counter``/... call site."""
+
+    def __init__(self, src, node: ast.Call, sink: str) -> None:
+        self.src = src
+        self.node = node
+        self.sink = sink
+
+    @property
+    def name_arg(self) -> ast.expr | None:
+        return self.node.args[0] if self.node.args else None
+
+    def constant_name(self) -> str | None:
+        """The obs-names constant the first argument spells, if any."""
+        arg = self.name_arg
+        if isinstance(arg, ast.Attribute):
+            return arg.attr
+        if isinstance(arg, ast.Name):
+            return arg.id
+        return None
+
+    def label_keys(self) -> frozenset[str] | None:
+        """kwarg label keys, or None when a ``**labels`` splat hides them."""
+        keys: set[str] = set()
+        for keyword in self.node.keywords:
+            if keyword.arg is None:
+                return None
+            if keyword.arg not in OBS_NON_LABEL_KWARGS:
+                keys.add(keyword.arg)
+        return frozenset(keys)
+
+
+@register
+class ObsNameDisciplineChecker(ProjectChecker):
+    code = "SL010"
+    name = "obs-name-discipline"
+    description = (
+        "span/metric names come from obs/names.py, every defined name is "
+        "used, and label sets match docs/observability.md"
+    )
+
+    docs_path = OBS_DOCS_PATH
+
+    def check_project(self, project: Project) -> list[Finding]:
+        names_src = project.sources.get(OBS_NAMES_FILE)
+        if names_src is None:
+            return []  # obs layer not in the scanned set
+        defined = _defined_names(names_src.tree)
+        sinks = self._collect_sinks(project)
+        findings: list[Finding] = []
+        findings.extend(self._check_literals(sinks))
+        findings.extend(self._check_unused(project, names_src, defined))
+        findings.extend(self._check_labels(project, sinks, defined))
+        return findings
+
+    # --- sink discovery -------------------------------------------------------
+
+    def _collect_sinks(self, project: Project) -> list[_SinkCall]:
+        """Calls in ``src/repro`` that resolve to an obs name sink."""
+        sinks: list[_SinkCall] = []
+        for path, src in sorted(project.sources.items()):
+            if not path.startswith("src/repro/") or path == OBS_NAMES_FILE:
+                continue
+            table = project.imports.get(module_name_for_path(path), {})
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                expanded = table.get(parts[0])
+                target = (
+                    ".".join([expanded, *parts[1:]]) if expanded is not None else dotted
+                )
+                sink = target.split(".")[-1]
+                if target.startswith("repro.obs") and sink in OBS_NAME_SINKS:
+                    sinks.append(_SinkCall(src, node, sink))
+        return sinks
+
+    # --- rules ----------------------------------------------------------------
+
+    def _check_literals(self, sinks: list[_SinkCall]) -> list[Finding]:
+        findings: list[Finding] = []
+        for sink in sinks:
+            arg = sink.name_arg
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                findings.append(
+                    self.finding(
+                        sink.src,
+                        sink.node,
+                        f"{sink.sink}() called with string literal "
+                        f"{arg.value!r} — span/metric names must come from "
+                        "repro/obs/names.py so the docs round-trip sees them",
+                    )
+                )
+        return findings
+
+    def _check_unused(
+        self, project: Project, names_src, defined: dict
+    ) -> list[Finding]:
+        if not project.full_src:
+            return []
+        used: set[str] = set()
+        for path, src in project.sources.items():
+            if path == OBS_NAMES_FILE:
+                continue
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Name) and node.id in defined:
+                    used.add(node.id)
+                elif isinstance(node, ast.Attribute) and node.attr in defined:
+                    used.add(node.attr)
+                elif isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        if alias.name in defined:
+                            used.add(alias.name)
+        findings: list[Finding] = []
+        for name in sorted(defined):
+            if name not in used:
+                _, node = defined[name]
+                findings.append(
+                    self.finding(
+                        names_src,
+                        node,
+                        f"obs name {name} is defined but never used anywhere "
+                        "in the scanned tree — instrument something with it "
+                        "or remove it (and its docs row)",
+                    )
+                )
+        return findings
+
+    def _check_labels(
+        self, project: Project, sinks: list[_SinkCall], defined: dict
+    ) -> list[Finding]:
+        docs_file = os.path.join(project.root, self.docs_path)
+        docs_labels: dict[str, frozenset[str]] = {}
+        if os.path.exists(docs_file):
+            with open(docs_file, encoding="utf-8") as handle:
+                docs_labels = _docs_label_sets(handle.read())
+        # constant name -> [(sink, label keys)] for metric sinks only.
+        sites: dict[str, list[tuple[_SinkCall, frozenset[str]]]] = {}
+        for sink in sinks:
+            if sink.sink == "span":
+                continue
+            constant = sink.constant_name()
+            if constant is None or constant not in defined:
+                continue
+            keys = sink.label_keys()
+            if keys is None:
+                continue  # **labels splat: not statically checkable
+            sites.setdefault(constant, []).append((sink, keys))
+        findings: list[Finding] = []
+        for constant in sorted(sites):
+            value, _ = defined[constant]
+            documented = docs_labels.get(value) if value is not None else None
+            baseline_keys = (
+                documented
+                if documented is not None
+                else sites[constant][0][1]
+            )
+            for sink, keys in sites[constant]:
+                if keys == baseline_keys:
+                    continue
+                expected = ", ".join(sorted(baseline_keys)) or "none"
+                got = ", ".join(sorted(keys)) or "none"
+                origin = (
+                    "docs/observability.md documents"
+                    if documented is not None
+                    else "other call sites use"
+                )
+                findings.append(
+                    self.finding(
+                        sink.src,
+                        sink.node,
+                        f"metric {constant} called with label keys [{got}] "
+                        f"but {origin} [{expected}] — label sets must be "
+                        "consistent",
+                    )
+                )
+        return findings
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

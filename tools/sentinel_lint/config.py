@@ -125,6 +125,76 @@ LAYERED_ROOT = "src/repro"
 LAYERED_PACKAGE = "repro"
 
 
+# --- SL007: thread-shared state ----------------------------------------------
+
+#: class qualname -> instance attributes shared across threads (or across
+#: breaker/monitor state machines driven from multiple call paths).  Every
+#: method mutating one of these attributes must hold the owning lock; the
+#: checker also discovers mutations in functions reachable from thread
+#: entry points (``ThreadPoolExecutor.submit``/``Thread(target=...)``).
+THREAD_SHARED_STATE: dict[str, tuple[str, ...]] = {
+    "repro.gateway.monitor.DeviceMonitor": ("_completed",),
+    "repro.securityservice.resilience.CircuitBreaker": (
+        "state",
+        "transitions",
+        "_consecutive_failures",
+        "_half_open_streak",
+        "_opened_at",
+    ),
+}
+
+#: Methods where unlocked writes are fine: the object is not shared yet.
+CONSTRUCTOR_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+# --- SL008: exception contracts ----------------------------------------------
+
+#: Root of the packet-codec exception taxonomy; every ``raise`` inside
+#: :data:`PACKETS_DIRS` must be a subclass of it.
+PACKETS_EXCEPTION_ROOT = "repro.packets.base.PacketError"
+
+#: Directory whose public entry points must not let transport faults
+#: escape (PR 4's fault-isolation contract).
+GATEWAY_DIR = "src/repro/gateway"
+
+#: Method names whose calls cross the gateway -> IoTSSP boundary.
+BOUNDARY_CALLEES = frozenset({"submit", "submit_many"})
+
+#: Exception names that count as catching a transport fault at the
+#: boundary ("" = bare except).
+BOUNDARY_GUARDS = frozenset(
+    {"", "Exception", "BaseException", "TransportFault"}
+)
+
+#: Gateway helpers that intentionally forward boundary faults to their
+#: caller (thin wrappers whose *callers* provide the per-device guard).
+BOUNDARY_ESCAPE_ALLOWED = frozenset(
+    {"repro.gateway.sentinel_module.SentinelModule._submit"}
+)
+
+# --- SL010: observability-name discipline ------------------------------------
+
+#: The single module allowed to spell span/metric names as literals.
+OBS_NAMES_FILE = "src/repro/obs/names.py"
+
+#: Module defining the canonical names.
+OBS_NAMES_MODULE = "repro.obs.names"
+
+#: Callables (last dotted segment) whose first argument is a span or
+#: metric name and must therefore come from :data:`OBS_NAMES_MODULE`.
+OBS_NAME_SINKS = frozenset({"span", "counter", "gauge", "histogram"})
+
+#: Aggregate tuples/frozensets in ``obs/names.py`` that re-export every
+#: name — not themselves canonical names, and using one of them counts
+#: as using nothing in particular.
+OBS_NAME_AGGREGATES = frozenset({"SPAN_NAMES", "METRIC_NAMES"})
+
+#: The CI-checked docs table the label sets must stay consistent with.
+OBS_DOCS_PATH = "docs/observability.md"
+
+#: Metric-constructor keyword arguments that are not label names.
+OBS_NON_LABEL_KWARGS = frozenset({"help", "buckets", "description"})
+
+
 def layer_of(package: str) -> int | None:
     """Index of ``package`` in :data:`LAYERS`, or None if unmapped."""
     for rank, names in enumerate(LAYERS):

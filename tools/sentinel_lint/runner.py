@@ -77,6 +77,55 @@ def check_source(
     return kept, len(raw) - len(kept)
 
 
+def _covers_src(root: str, paths: list[str]) -> bool:
+    """Do the requested paths include the whole ``src`` tree?
+
+    Project checkers that reason about *absence* (unused obs names,
+    missing parity twins) only fire when the index is known complete.
+    """
+    src_dir = os.path.abspath(os.path.join(root, "src"))
+    for path in paths:
+        absolute = os.path.abspath(
+            path if os.path.isabs(path) else os.path.join(root, path)
+        )
+        if src_dir == absolute or src_dir.startswith(absolute + os.sep):
+            return True
+    return False
+
+
+def check_project_sources(
+    sources: list[SourceFile],
+    checkers: list[Checker],
+    *,
+    root: str = ".",
+    full_src: bool = False,
+) -> tuple[list[Finding], int]:
+    """Run project checkers over a set of (possibly in-memory) sources.
+
+    Returns ``(findings, suppressed_count)`` with inline suppressions
+    applied per finding path.  Used by the runner and, directly, by the
+    flow-checker tests (which build fixture projects in memory).
+    """
+    from .checkers.base import ProjectChecker
+    from .flow.project import Project
+
+    project = Project(sources, full_src=full_src, root=root)
+    raw: list[Finding] = []
+    for checker in checkers:
+        if isinstance(checker, ProjectChecker):
+            raw.extend(checker.check_project(project))
+    suppressions: dict[str, Suppressions] = {}
+    kept: list[Finding] = []
+    for finding in raw:
+        src = project.sources.get(finding.path)
+        if src is not None and finding.path not in suppressions:
+            suppressions[finding.path] = Suppressions.from_source(src)
+        active = suppressions.get(finding.path)
+        if active is None or not active.is_suppressed(finding.code, finding.line):
+            kept.append(finding)
+    return kept, len(raw) - len(kept)
+
+
 def run_paths(
     root: str,
     paths: list[str],
@@ -86,19 +135,34 @@ def run_paths(
     ignore: set[str] | None = None,
 ) -> RunResult:
     """Lint every file under ``paths`` and partition against the baseline."""
+    from .checkers.base import ProjectChecker
+
     checkers = all_checkers()
     if select:
         checkers = [c for c in checkers if c.code in select]
     if ignore:
         checkers = [c for c in checkers if c.code not in ignore]
+    file_checkers = [c for c in checkers if not isinstance(c, ProjectChecker)]
+    project_checkers = [c for c in checkers if isinstance(c, ProjectChecker)]
     result = RunResult()
     collected: list[Finding] = []
+    sources: list[SourceFile] = []
     for rel_path in discover_files(root, paths):
         src = SourceFile.from_path(rel_path, os.path.join(root, rel_path))
-        findings, suppressed = check_source(src, checkers)
+        sources.append(src)
+        findings, suppressed = check_source(src, file_checkers)
         collected.extend(findings)
         result.suppressed_count += suppressed
         result.files_scanned += 1
+    if project_checkers:
+        findings, suppressed = check_project_sources(
+            sources,
+            project_checkers,
+            root=root,
+            full_src=_covers_src(root, paths),
+        )
+        collected.extend(findings)
+        result.suppressed_count += suppressed
     if baseline is None:
         result.findings = sorted(collected)
     else:
