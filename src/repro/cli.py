@@ -12,6 +12,9 @@ Subcommands mirror the operational workflow:
 * ``faultsim`` — drive the gateway pipeline through a scripted IoTSSP
   outage (retries, circuit breaker, degraded-mode quarantine; see
   ``docs/robustness.md``)
+* ``serve``    — stand the IoTSSP up as a real HTTP service (report
+  submission, directive lookup, type enrolment, live ``/metrics``; see
+  ``docs/serving.md``)
 
 ``train`` and ``identify`` accept ``--trace-out``/``--metrics-out`` to
 capture the run's spans (JSON-lines) and metrics (Prometheus text) — see
@@ -380,7 +383,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
             now += args.sweep_interval
             sweeps_used = sweep
             changed = gateway.refresh_directives(now)
-            queue = len(gateway.sentinel.pending_reports)
+            queue = gateway.pending_report_count
             if changed:
                 upgraded = gateway.directive_for(mac)
                 timeline.append(
@@ -397,7 +400,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     ok = (
         final is not None
         and not final.provisional
-        and not gateway.sentinel.pending_reports
+        and gateway.pending_report_count == 0
         and service.reports >= 1
     )
     summary = {
@@ -416,7 +419,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
             {"from": old.value, "to": new.value, "at": round(at, 3)}
             for old, new, at in transport.breaker.transitions
         ],
-        "pending_reports": len(gateway.sentinel.pending_reports),
+        "pending_reports": gateway.pending_report_count,
         "reports_accepted": service.reports,
     }
     if args.json:
@@ -433,6 +436,70 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
               f"faults={faulty.faults_injected} accepted={service.reports}")
         print("outcome: " + ("recovered, zero lost reports" if ok else "NOT recovered"))
     return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the IoTSSP over HTTP until interrupted (``docs/serving.md``)."""
+    import time as _time
+
+    from repro.securityservice import IoTSecurityService
+    from repro.securityservice.http import (
+        ApiKeyRegistry,
+        GatewayRateLimiter,
+        SecurityServiceHTTPServer,
+        ServiceApp,
+    )
+    from repro.securityservice.http.server import DEFAULT_MAX_SPAN_RECORDS
+
+    service = IoTSecurityService(random_state=args.seed, n_jobs=args.jobs)
+    if args.model:
+        service.identifier = load_identifier(args.model)
+        print(f"loaded model with {len(service.known_types)} types from {args.model}")
+    else:
+        registry = load_registry(args.corpus)
+        if args.store:
+            from pathlib import Path
+
+            from repro.core import ModelStore, warm_start_identifier
+
+            service.identifier, cache_hit = warm_start_identifier(
+                registry, ModelStore(Path(args.store)),
+                random_state=args.seed, n_jobs=args.jobs,
+            )
+            print("model store: cache hit (training skipped)" if cache_hit
+                  else "model store: cache miss (trained and cached)")
+        else:
+            service.train(registry)
+        print(f"trained {len(service.known_types)} types from {args.corpus}")
+
+    auth = ApiKeyRegistry.from_file(args.api_keys) if args.api_keys else ApiKeyRegistry()
+    limiter = None
+    if args.rate > 0:
+        limiter = GatewayRateLimiter(args.rate, args.burst, clock=_time.monotonic)
+    app = ServiceApp(service, auth=auth, limiter=limiter)
+    server = SecurityServiceHTTPServer(
+        app,
+        args.host,
+        args.port,
+        provider=RecordingProvider(
+            max_span_records=args.max_span_records or DEFAULT_MAX_SPAN_RECORDS
+        ),
+    )
+    mode = "open (no API keys)" if auth.open else f"{len(auth.gateway_ids)} gateway keys"
+    limits = (
+        f"{args.rate:g} req/s (burst {args.burst:g}) per gateway"
+        if limiter is not None else "disabled"
+    )
+    print(f"IoTSSP serving on {server.base_url}")
+    print(f"  auth       : {mode}")
+    print(f"  rate limit : {limits}")
+    print(f"  try        : curl {server.base_url}/healthz")
+    print(f"               curl {server.base_url}/metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -560,6 +627,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_fault.add_argument("--json", action="store_true", help="machine-readable summary")
     _add_obs_flags(p_fault)
 
+    p_serve = sub.add_parser(
+        "serve", help="serve the IoTSSP over HTTP (see docs/serving.md)"
+    )
+    source = p_serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--corpus", help="corpus JSON from `dataset` (train at startup)")
+    source.add_argument("--model", help="model JSON from `train` (skip training)")
+    p_serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="with --corpus: warm-start model store (skip training on a "
+        "content-hash cache hit)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8799, help="0 = ephemeral")
+    p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument("--jobs", type=int, default=None, help="training workers")
+    p_serve.add_argument(
+        "--api-keys", default=None, metavar="FILE",
+        help='JSON {"gateway_id": "key"} table; omit to serve open',
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="per-gateway sustained tokens/second (<= 0 disables limiting); "
+        "batch submits cost one token per report",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=100.0, help="per-gateway bucket capacity"
+    )
+    p_serve.add_argument(
+        "--max-span-records", type=int, default=None,
+        help="span ring-buffer bound for /metrics' recording provider",
+    )
+
     return parser
 
 
@@ -575,6 +674,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "obs": _cmd_obs,
     "faultsim": _cmd_faultsim,
+    "serve": _cmd_serve,
 }
 
 

@@ -224,6 +224,11 @@ class SecurityGateway:
             )
             self.overlays.assign(mac, level, allowed)
 
+    @property
+    def pending_report_count(self) -> int:
+        """Fingerprint reports awaiting IoTSSP re-submission (0 when healthy)."""
+        return 0 if self.sentinel is None else self.sentinel.pending_report_count
+
     def refresh_directives(self, now: float, *, force: bool = False) -> list[str]:
         """Periodic update query to the IoT Security Service (Sect. V).
 

@@ -252,6 +252,16 @@ class SentinelModule(ControllerModule):
                 directives[event.device_mac] = self.complete_profiling(event, now=now)
             return directives
 
+    @property
+    def pending_report_count(self) -> int:
+        """Reports still queued for re-submission (degraded-mode devices).
+
+        The public form of the ``gateway_pending_reports`` gauge, so
+        operators and tests need not poke ``pending_reports`` internals
+        to see whether a retry sweep has drained the queue.
+        """
+        return len(self.pending_reports)
+
     def retry_pending(self, now: float) -> list[str]:
         """Re-submit queued fingerprints; returns the MACs finalized.
 

@@ -37,6 +37,7 @@ __all__ = [
     "SPAN_TRANSPORT_SUBMIT",
     "SPAN_TRANSPORT_ATTEMPT",
     "SPAN_GATEWAY_BATCH",
+    "SPAN_HTTP_REQUEST",
     # metrics
     "METRIC_PACKETS_SEEN",
     "METRIC_PACKETS_DROPPED",
@@ -64,6 +65,9 @@ __all__ = [
     "METRIC_MODEL_STORE_MISSES",
     "METRIC_GATEWAY_BATCHES",
     "METRIC_COMPLETIONS_BUFFERED",
+    "METRIC_HTTP_REQUESTS",
+    "METRIC_HTTP_RATE_LIMITED",
+    "METRIC_HTTP_AUTH_FAILURES",
     "SPAN_NAMES",
     "METRIC_NAMES",
 ]
@@ -102,6 +106,8 @@ SPAN_TRANSPORT_SUBMIT = "transport.submit"
 SPAN_TRANSPORT_ATTEMPT = "transport.submit.attempt"
 #: One ``SentinelModule.process_batch`` call over drained completions.
 SPAN_GATEWAY_BATCH = "gateway.process_batch"
+#: One HTTP request through the IoTSSP serving tier's router.
+SPAN_HTTP_REQUEST = "service.http.request"
 
 # --- metrics -----------------------------------------------------------------
 
@@ -159,6 +165,12 @@ METRIC_MODEL_STORE_MISSES = "model_store_misses_total"
 METRIC_GATEWAY_BATCHES = "gateway_profiling_batches_total"
 #: Completed setup captures waiting in the monitor's drain buffer.
 METRIC_COMPLETIONS_BUFFERED = "monitor_completions_buffered"
+#: HTTP requests served, labelled ``endpoint``/``status``.
+METRIC_HTTP_REQUESTS = "service_http_requests_total"
+#: Requests rejected 429 by the per-gateway token bucket.
+METRIC_HTTP_RATE_LIMITED = "service_http_rate_limited_total"
+#: Requests rejected 401 (missing, unknown, or wrong API key).
+METRIC_HTTP_AUTH_FAILURES = "service_http_auth_failures_total"
 
 #: Every canonical span name (checked against the docs table by CI).
 SPAN_NAMES = frozenset(
@@ -179,6 +191,7 @@ SPAN_NAMES = frozenset(
         SPAN_TRANSPORT_SUBMIT,
         SPAN_TRANSPORT_ATTEMPT,
         SPAN_GATEWAY_BATCH,
+        SPAN_HTTP_REQUEST,
     }
 )
 
@@ -211,5 +224,8 @@ METRIC_NAMES = frozenset(
         METRIC_MODEL_STORE_MISSES,
         METRIC_GATEWAY_BATCHES,
         METRIC_COMPLETIONS_BUFFERED,
+        METRIC_HTTP_REQUESTS,
+        METRIC_HTTP_RATE_LIMITED,
+        METRIC_HTTP_AUTH_FAILURES,
     }
 )

@@ -129,6 +129,11 @@ class RecordingProvider:
         into the :data:`~repro.obs.names.METRIC_SPAN_DURATION` histogram
         labelled with the span name — per-step latency distributions for
         free, without extra instrumentation.
+    max_span_records:
+        Bound on retained finished spans, forwarded to
+        :class:`~repro.obs.spans.Tracer`.  Long-running collectors (the
+        HTTP serving tier) set this so memory stays flat under load;
+        None (default) keeps everything.
     """
 
     enabled = True
@@ -138,10 +143,13 @@ class RecordingProvider:
         *,
         clock: Callable[[], float] = time.perf_counter,
         record_span_durations: bool = True,
+        max_span_records: int | None = None,
     ) -> None:
         self.metrics = MetricsRegistry()
         on_finish = self._record_duration if record_span_durations else None
-        self.tracer = Tracer(clock=clock, on_finish=on_finish)
+        self.tracer = Tracer(
+            clock=clock, on_finish=on_finish, max_records=max_span_records
+        )
 
     def _record_duration(self, record: SpanRecord) -> None:
         self.metrics.histogram(METRIC_SPAN_DURATION, span=record.name).observe(

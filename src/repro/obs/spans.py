@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from types import MappingProxyType
@@ -117,6 +118,13 @@ class Tracer:
     on_finish:
         Optional callback invoked with each finished :class:`SpanRecord`
         (the recording provider uses it to feed duration histograms).
+    max_records:
+        When set, keep only the most recent ``max_records`` finished
+        spans (a ring buffer).  Long-running processes — the HTTP serving
+        tier foremost — would otherwise grow the record list without
+        bound; metrics histograms already aggregate the full history.
+        Default None preserves the collect-everything behaviour the
+        offline experiment harnesses rely on.
     """
 
     def __init__(
@@ -124,11 +132,17 @@ class Tracer:
         *,
         clock: Callable[[], float] = time.perf_counter,
         on_finish: Callable[[SpanRecord], None] | None = None,
+        max_records: int | None = None,
     ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
         self._clock = clock
         self._on_finish = on_finish
         self._lock = threading.Lock()
-        self._records: list[SpanRecord] = []
+        self._records: deque[SpanRecord] | list[SpanRecord] = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.max_records = max_records
         self._next_id = 1
         self._active = threading.local()
 

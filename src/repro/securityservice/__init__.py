@@ -1,10 +1,20 @@
 """The IoT Security Service Provider (IoTSSP) side of IoT Sentinel.
 
 Fingerprint classification service, vulnerability repository, isolation
-policy and the gateway↔service protocol (Sect. III-B).
+policy, the gateway↔service protocol (Sect. III-B), and the HTTP
+serving tier that stands the service up behind real sockets
+(``docs/serving.md``).
 """
 
 from .assessment import Assessment, assess_device_type
+from .http import (
+    ApiKeyRegistry,
+    GatewayRateLimiter,
+    HttpTransport,
+    SecurityServiceHTTPServer,
+    ServiceApp,
+    SystemClock,
+)
 from .protocol import (
     AnonymizingTransport,
     DirectTransport,
@@ -30,6 +40,7 @@ from .vulndb import VulnerabilityDatabase, VulnerabilityRecord, seed_database
 
 __all__ = [
     "AnonymizingTransport",
+    "ApiKeyRegistry",
     "Assessment",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -37,13 +48,18 @@ __all__ = [
     "Fault",
     "FaultInjectingTransport",
     "FingerprintReport",
+    "GatewayRateLimiter",
+    "HttpTransport",
     "IoTSecurityService",
     "IsolationDirective",
     "ManualClock",
     "ProtocolError",
     "ResilientTransport",
     "RetryPolicy",
+    "SecurityServiceHTTPServer",
+    "ServiceApp",
     "ServiceUnavailable",
+    "SystemClock",
     "Transport",
     "TransportFault",
     "TransportTimeout",

@@ -1,0 +1,59 @@
+"""The IoTSSP serving tier: a stdlib-only HTTP surface over the service.
+
+The paper's Fig. 1 architecture has a fleet of Security Gateways
+reporting device fingerprints to a *remote* IoT Security Service; this
+package is that network boundary.  It stands the in-process
+:class:`~repro.securityservice.service.IoTSecurityService` up behind a
+``ThreadingHTTPServer`` and gives gateways an
+:class:`~repro.securityservice.http.client.HttpTransport` that speaks
+the same ``Transport`` protocol as the in-process transports — so the
+untouched :class:`~repro.securityservice.resilience.ResilientTransport`
+retry/breaker stack composes around real sockets unchanged.
+
+Module map (server side bottom-up):
+
+* :mod:`.wire` — JSON codecs for reports and directives (shared by both
+  sides; validation failures become 400s).
+* :mod:`.auth` — per-gateway API keys (auth-lite, constant-time compare).
+* :mod:`.ratelimit` — deterministic per-gateway token bucket with an
+  injected clock.
+* :mod:`.app` — the socketless router: ``(method, path, headers, body)
+  -> response``.  All instrumentation and thread-safety live here, so
+  every route is testable without opening a port.
+* :mod:`.server` — ``ThreadingHTTPServer`` glue binding the app to an
+  ephemeral or fixed port.
+* :mod:`.client` — ``HttpTransport`` + ``SystemClock`` for gateways.
+
+See ``docs/serving.md`` for the endpoint reference, quickstart, and
+operations runbook.
+"""
+
+from .app import AppResponse, ServiceApp
+from .auth import ApiKeyRegistry
+from .client import HttpTransport, SystemClock
+from .ratelimit import GatewayRateLimiter, RateDecision, TokenBucket
+from .server import SecurityServiceHTTPServer
+from .wire import (
+    WireError,
+    directive_from_dict,
+    directive_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
+
+__all__ = [
+    "AppResponse",
+    "ServiceApp",
+    "ApiKeyRegistry",
+    "HttpTransport",
+    "SystemClock",
+    "GatewayRateLimiter",
+    "RateDecision",
+    "TokenBucket",
+    "SecurityServiceHTTPServer",
+    "WireError",
+    "directive_from_dict",
+    "directive_to_dict",
+    "report_from_dict",
+    "report_to_dict",
+]

@@ -1,0 +1,79 @@
+"""Auth-lite: per-gateway API keys.
+
+The paper's service is client-stateless, so authentication stays
+deliberately thin: a static ``gateway_id -> key`` table, presented as
+``X-Gateway-Id`` / ``X-Api-Key`` headers on every ``/v1`` request.
+Verification is constant-time (:func:`hmac.compare_digest`) and unknown
+gateway ids burn the same comparison against a dummy key so the check
+leaks nothing about which ids exist.
+
+A registry with no keys is *open*: every request is accepted under the
+gateway id it claims (or ``"anonymous"``).  That keeps local quickstarts
+curl-able while letting deployments opt in with ``--api-keys``.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+__all__ = ["ApiKeyRegistry", "ANONYMOUS_GATEWAY"]
+
+#: Gateway identity assigned to unauthenticated requests in open mode.
+ANONYMOUS_GATEWAY = "anonymous"
+
+#: Burned on unknown-id lookups so they cost the same as wrong-key ones.
+_DUMMY_KEY = "sentinel-dummy-key-for-constant-time-compare"
+
+
+class ApiKeyRegistry:
+    """A static per-gateway API-key table."""
+
+    def __init__(self, keys: Mapping[str, str] | None = None) -> None:
+        self._keys: dict[str, str] = dict(keys or {})
+
+    @property
+    def open(self) -> bool:
+        """True when no keys are registered: authentication is disabled."""
+        return not self._keys
+
+    @property
+    def gateway_ids(self) -> list[str]:
+        return sorted(self._keys)
+
+    def issue(self, gateway_id: str, key: str) -> None:
+        """Register (or rotate) a gateway's key."""
+        if not gateway_id:
+            raise ValueError("gateway_id must be non-empty")
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._keys[gateway_id] = key
+
+    def revoke(self, gateway_id: str) -> None:
+        self._keys.pop(gateway_id, None)
+
+    def verify(self, gateway_id: str | None, key: str | None) -> bool:
+        """True when the pair authenticates (always True in open mode)."""
+        if self.open:
+            return True
+        if not gateway_id or not key:
+            return False
+        expected = self._keys.get(gateway_id)
+        if expected is None:
+            hmac.compare_digest(_DUMMY_KEY, key)
+            return False
+        return hmac.compare_digest(expected, key)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ApiKeyRegistry":
+        """Load a ``{"gateway_id": "key", ...}`` JSON table."""
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in data.items()
+        ):
+            raise ValueError(
+                f"{path}: API-key file must be a JSON object of string -> string"
+            )
+        return cls(data)

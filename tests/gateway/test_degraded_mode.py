@@ -238,6 +238,24 @@ class TestDetachHygiene:
         assert gateway.refresh_directives(end + 60.0) == []
 
 
+class TestPendingReportCount:
+    """The public queue-depth view (mirrors the gateway_pending_reports gauge)."""
+
+    def test_counts_through_outage_and_recovery(self):
+        gateway, _ = failing_gateway(failures=1)
+        gateway.attach_device(DEV)
+        assert gateway.pending_report_count == 0
+        end = run_setup(gateway)  # submit fails: report parked for retry
+        assert gateway.pending_report_count == 1
+        assert gateway.sentinel.pending_report_count == 1
+        gateway.refresh_directives(end + 60.0)  # transport recovered
+        assert gateway.pending_report_count == 0
+
+    def test_zero_without_a_sentinel(self):
+        gateway = SecurityGateway(filtering=False)
+        assert gateway.pending_report_count == 0
+
+
 class TestAuditTimestamps:
     def test_attach_and_detach_thread_now_into_audit(self):
         gateway = SecurityGateway(filtering=False)

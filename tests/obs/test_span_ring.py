@@ -1,0 +1,55 @@
+"""Tracer ring buffer: bounded span retention for long-running servers."""
+
+import pytest
+
+from repro.obs import RecordingProvider, metrics_snapshot, names
+from repro.obs.spans import Tracer
+
+
+class TestTracerRing:
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for _ in range(10):
+            with tracer.span("op"):
+                pass
+        assert len(tracer.records()) == 10
+        assert tracer.max_records is None
+
+    def test_ring_keeps_only_the_most_recent(self):
+        tracer = Tracer(max_records=3)
+        for index in range(7):
+            with tracer.span("op", index=index):
+                pass
+        records = tracer.records()
+        assert len(records) == 3
+        assert [r.attributes["index"] for r in records] == [4, 5, 6]
+
+    def test_clear_empties_the_ring(self):
+        tracer = Tracer(max_records=2)
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_records"):
+            Tracer(max_records=0)
+
+    def test_provider_forwards_the_bound(self):
+        provider = RecordingProvider(max_span_records=2)
+        assert provider.tracer.max_records == 2
+        for _ in range(5):
+            with provider.tracer.span(names.SPAN_HTTP_REQUEST):
+                pass
+        assert len(provider.tracer.records()) == 2
+
+    def test_duration_histogram_still_sees_every_span(self):
+        # The ring bounds the *record list*; aggregated metrics keep the
+        # full history, so a bounded serving tier loses no telemetry.
+        provider = RecordingProvider(max_span_records=2)
+        for _ in range(5):
+            with provider.tracer.span(names.SPAN_HTTP_REQUEST):
+                pass
+        snapshot = metrics_snapshot(provider.metrics)
+        (sample,) = snapshot[names.METRIC_SPAN_DURATION]["samples"]
+        assert sample["count"] == 5

@@ -1,0 +1,24 @@
+"""Shared fixtures for the serving-tier tests: one trained IoTSSP.
+
+Module-scoped so the training cost is paid once per test module; tests
+that mutate the service (enrolment) build their own instance instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.securityservice import IoTSecurityService
+
+
+@pytest.fixture(scope="module")
+def service(small_registry):
+    svc = IoTSecurityService(random_state=3)
+    svc.train(small_registry)
+    return svc
+
+
+@pytest.fixture(scope="module")
+def probe(small_registry):
+    """One Aria fingerprint; the trained service identifies it correctly."""
+    return small_registry.fingerprints("Aria")[0]

@@ -1,0 +1,84 @@
+"""Auth-lite: the per-gateway API-key table."""
+
+import pytest
+
+from repro.securityservice.http import ApiKeyRegistry
+
+
+class TestOpenMode:
+    def test_empty_registry_is_open(self):
+        registry = ApiKeyRegistry()
+        assert registry.open
+        assert registry.verify(None, None)
+        assert registry.verify("anyone", "anything")
+
+    def test_issuing_a_key_closes_it(self):
+        registry = ApiKeyRegistry()
+        registry.issue("gw-1", "k1")
+        assert not registry.open
+        assert not registry.verify("anyone", "anything")
+
+    def test_revoking_the_last_key_reopens(self):
+        registry = ApiKeyRegistry({"gw-1": "k1"})
+        registry.revoke("gw-1")
+        assert registry.open
+
+
+class TestVerification:
+    @pytest.fixture()
+    def registry(self):
+        return ApiKeyRegistry({"gw-1": "k1", "gw-2": "k2"})
+
+    def test_right_key_passes(self, registry):
+        assert registry.verify("gw-1", "k1")
+        assert registry.verify("gw-2", "k2")
+
+    def test_wrong_key_fails(self, registry):
+        assert not registry.verify("gw-1", "k2")
+
+    def test_unknown_gateway_fails(self, registry):
+        assert not registry.verify("gw-9", "k1")
+
+    def test_missing_credentials_fail(self, registry):
+        assert not registry.verify(None, "k1")
+        assert not registry.verify("gw-1", None)
+        assert not registry.verify("", "")
+
+    def test_rotation_invalidates_the_old_key(self, registry):
+        registry.issue("gw-1", "k1-rotated")
+        assert not registry.verify("gw-1", "k1")
+        assert registry.verify("gw-1", "k1-rotated")
+
+    def test_gateway_ids_sorted(self, registry):
+        assert registry.gateway_ids == ["gw-1", "gw-2"]
+
+
+class TestValidation:
+    def test_empty_gateway_id_rejected(self):
+        with pytest.raises(ValueError):
+            ApiKeyRegistry().issue("", "k")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            ApiKeyRegistry().issue("gw-1", "")
+
+
+class TestFromFile:
+    def test_loads_a_json_table(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text('{"gw-1": "k1"}')
+        registry = ApiKeyRegistry.from_file(path)
+        assert registry.verify("gw-1", "k1")
+        assert not registry.open
+
+    def test_rejects_non_object_files(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text('["gw-1"]')
+        with pytest.raises(ValueError, match="string -> string"):
+            ApiKeyRegistry.from_file(path)
+
+    def test_rejects_non_string_values(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text('{"gw-1": 5}')
+        with pytest.raises(ValueError, match="string -> string"):
+            ApiKeyRegistry.from_file(path)

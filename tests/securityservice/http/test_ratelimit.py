@@ -1,0 +1,93 @@
+"""Token-bucket rate limiting on a hand-cranked clock."""
+
+import pytest
+
+from repro.securityservice.http import GatewayRateLimiter, TokenBucket
+
+
+class Tick:
+    """A zero-argument clock the test advances by hand."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_reject(self):
+        clock = Tick()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        decisions = [bucket.acquire() for _ in range(4)]
+        assert [d.allowed for d in decisions] == [True, True, True, False]
+        assert [d.remaining for d in decisions] == [2, 1, 0, 0]
+
+    def test_retry_after_is_the_deficit_over_the_rate(self):
+        clock = Tick()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.acquire().allowed
+        denied = bucket.acquire()
+        assert not denied.allowed
+        assert denied.retry_after == pytest.approx(0.5)
+
+    def test_refills_continuously(self):
+        clock = Tick()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        bucket.acquire()
+        bucket.acquire()
+        assert not bucket.acquire().allowed
+        clock.now = 1.0
+        assert bucket.acquire().allowed
+        assert not bucket.acquire().allowed
+
+    def test_refill_caps_at_burst(self):
+        clock = Tick()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.now = 100.0  # hours idle: still only `burst` tokens banked
+        assert [bucket.acquire().allowed for _ in range(3)] == [True, True, False]
+
+    def test_batch_cost_draws_many_tokens(self):
+        clock = Tick()
+        bucket = TokenBucket(rate=1.0, burst=10, clock=clock)
+        assert bucket.acquire(cost=8.0).allowed
+        assert not bucket.acquire(cost=5.0).allowed
+        assert bucket.acquire(cost=2.0).allowed
+
+    def test_identical_sequences_are_deterministic(self):
+        def run():
+            clock = Tick()
+            bucket = TokenBucket(rate=3.0, burst=4, clock=clock)
+            out = []
+            for step in range(10):
+                clock.now = step * 0.1
+                decision = bucket.acquire()
+                out += [(decision.allowed, decision.remaining, decision.retry_after)]
+            return out
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1, clock=Tick())
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5, clock=Tick())
+
+
+class TestGatewayRateLimiter:
+    def test_buckets_are_per_gateway(self):
+        limiter = GatewayRateLimiter(rate=1.0, burst=1, clock=Tick())
+        assert limiter.acquire("gw-1").allowed
+        assert not limiter.acquire("gw-1").allowed
+        # A different gateway has its own untouched bucket.
+        assert limiter.acquire("gw-2").allowed
+
+    def test_shared_policy(self):
+        clock = Tick()
+        limiter = GatewayRateLimiter(rate=2.0, burst=2, clock=clock)
+        for key in ("a", "b"):
+            assert limiter.acquire(key, cost=2.0).allowed
+            assert not limiter.acquire(key).allowed
+        clock.now = 1.0
+        for key in ("a", "b"):
+            assert limiter.acquire(key, cost=2.0).allowed

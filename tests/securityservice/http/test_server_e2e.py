@@ -1,0 +1,205 @@
+"""Real sockets: the serving tier end to end on an ephemeral port.
+
+Everything here binds ``127.0.0.1:0`` and talks through
+:class:`HttpTransport` (or a raw ``http.client`` connection for the
+Prometheus scrape), so the whole stack — request threads, router, wire
+codecs, fault mapping — is exercised exactly as a gateway deployment
+would drive it.
+"""
+
+import http.client
+import threading
+
+import pytest
+
+from repro.obs import NOOP_PROVIDER, get_provider, set_provider
+from repro.securityservice import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FingerprintReport,
+    ProtocolError,
+    ResilientTransport,
+    RetryPolicy,
+    ServiceUnavailable,
+)
+from repro.securityservice.http import (
+    ApiKeyRegistry,
+    AppResponse,
+    HttpTransport,
+    SecurityServiceHTTPServer,
+    ServiceApp,
+    SystemClock,
+)
+
+#: Fast backoff so retry paths run in milliseconds of wall time.
+FAST = RetryPolicy(max_attempts=3, base_delay=0.01, multiplier=1.0, max_delay=0.05, jitter=0.0)
+
+
+def scrape(server, path="/metrics"):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=5)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
+class TestRoundTrip:
+    @pytest.fixture()
+    def server(self, service):
+        with SecurityServiceHTTPServer(ServiceApp(service)) as server:
+            yield server
+
+    def test_submit_then_lookup_then_scrape(self, server, probe):
+        transport = HttpTransport(server.base_url, gateway_id="gw-e2e")
+        directive = transport.submit(FingerprintReport(fingerprint=probe))
+        assert directive.device_type == "Aria"
+
+        lookup = transport.request_json("GET", "/v1/directive/Aria")
+        assert lookup["device_type"] == "Aria"
+        assert lookup["level"] == directive.level.value
+
+        status, text = scrape(server)
+        assert status == 200
+        assert "service_reports_handled_total 1" in text
+        assert "service_http_requests_total" in text
+
+    def test_batch_submit(self, server, probe):
+        transport = HttpTransport(server.base_url)
+        reports = [FingerprintReport(fingerprint=probe) for _ in range(4)]
+        directives = transport.submit_many(reports)
+        assert len(directives) == 4
+        assert {d.device_type for d in directives} == {"Aria"}
+
+    def test_types_and_health(self, server, service):
+        transport = HttpTransport(server.base_url)
+        assert transport.request_json("GET", "/v1/types")["types"] == service.known_types
+        health = transport.request_json("GET", "/healthz")
+        assert health["status"] == "ok"
+
+    def test_client_errors_are_fatal_protocol_errors(self, server):
+        transport = HttpTransport(server.base_url)
+        with pytest.raises(ProtocolError, match="404"):
+            transport.request_json("GET", "/v1/directive/Toaster9000")
+
+    def test_connection_refused_is_retryable(self, server, probe):
+        # A dead port maps onto ServiceUnavailable, not a raw OSError.
+        dead = HttpTransport(f"http://{server.host}:1", timeout=0.5)
+        with pytest.raises(ServiceUnavailable):
+            dead.submit(FingerprintReport(fingerprint=probe))
+
+
+class TestAuthOverHttp:
+    def test_wrong_key_is_fatal_right_key_passes(self, service, probe):
+        app = ServiceApp(service, auth=ApiKeyRegistry({"gw-1": "secret"}))
+        with SecurityServiceHTTPServer(app) as server:
+            wrong = HttpTransport(server.base_url, gateway_id="gw-1", api_key="nope")
+            with pytest.raises(ProtocolError, match="401"):
+                wrong.submit(FingerprintReport(fingerprint=probe))
+            right = HttpTransport(server.base_url, gateway_id="gw-1", api_key="secret")
+            directive = right.submit(FingerprintReport(fingerprint=probe))
+            assert directive.device_type == "Aria"
+
+
+class FlakyApp:
+    """Fault-injecting wrapper: N induced failures, then the real app."""
+
+    def __init__(self, app, failures: int, status: int = 503) -> None:
+        self.app = app
+        self.failures = failures
+        self.status = status
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def handle(self, method, path, headers, body) -> AppResponse:
+        with self._lock:
+            self.calls += 1
+            induced = self.calls <= self.failures
+        if induced:
+            return AppResponse(self.status, b'{"error": "induced outage"}')
+        return self.app.handle(method, path, headers, body)
+
+
+class TestResilienceOverHttp:
+    def test_retries_ride_out_a_transient_outage(self, service, probe):
+        flaky = FlakyApp(ServiceApp(service), failures=2)
+        with SecurityServiceHTTPServer(flaky) as server:
+            transport = ResilientTransport(
+                HttpTransport(server.base_url, gateway_id="gw-r"),
+                policy=FAST,
+                clock=SystemClock(),
+            )
+            directive = transport.submit(FingerprintReport(fingerprint=probe))
+        assert directive.device_type == "Aria"
+        assert flaky.calls == 3  # two 503s, one success
+        assert transport.attempts == 3
+
+    def test_persistent_outage_exhausts_retries(self, service, probe):
+        flaky = FlakyApp(ServiceApp(service), failures=10 ** 6)
+        with SecurityServiceHTTPServer(flaky) as server:
+            transport = ResilientTransport(
+                HttpTransport(server.base_url),
+                policy=FAST,
+                clock=SystemClock(),
+                breaker=CircuitBreaker(failure_threshold=100),
+            )
+            with pytest.raises(ServiceUnavailable):
+                transport.submit(FingerprintReport(fingerprint=probe))
+        assert flaky.calls == FAST.max_attempts
+
+    def test_breaker_opens_and_fails_fast(self, service, probe):
+        flaky = FlakyApp(ServiceApp(service), failures=10 ** 6)
+        with SecurityServiceHTTPServer(flaky) as server:
+            transport = ResilientTransport(
+                HttpTransport(server.base_url),
+                policy=FAST,
+                clock=SystemClock(),
+                breaker=CircuitBreaker(failure_threshold=3, reset_timeout=3600.0),
+            )
+            with pytest.raises(ServiceUnavailable):
+                transport.submit(FingerprintReport(fingerprint=probe))
+            calls_when_open = flaky.calls
+            with pytest.raises(CircuitOpenError):
+                transport.submit(FingerprintReport(fingerprint=probe))
+        # Failing fast means no further requests reached the server.
+        assert flaky.calls == calls_when_open
+
+    def test_fatal_statuses_do_not_retry(self, service, probe):
+        flaky = FlakyApp(ServiceApp(service), failures=10 ** 6, status=400)
+        with SecurityServiceHTTPServer(flaky) as server:
+            transport = ResilientTransport(
+                HttpTransport(server.base_url),
+                policy=FAST,
+                clock=SystemClock(),
+            )
+            with pytest.raises(ProtocolError):
+                transport.submit(FingerprintReport(fingerprint=probe))
+        assert flaky.calls == 1
+
+
+class TestProviderLifecycle:
+    def test_start_installs_and_stop_restores_the_global_provider(self, service):
+        previous = get_provider()
+        server = SecurityServiceHTTPServer(ServiceApp(service))
+        server.start()
+        try:
+            assert get_provider() is server.provider
+            assert server.running
+        finally:
+            server.stop()
+        assert get_provider() is previous
+        assert not server.running
+
+    def test_unmanaged_server_leaves_the_provider_alone(self, service):
+        set_provider(NOOP_PROVIDER)
+        with SecurityServiceHTTPServer(ServiceApp(service), manage_provider=False) as server:
+            assert get_provider() is NOOP_PROVIDER
+            status, text = scrape(server)
+        assert status == 200
+        assert "disabled" in text
+
+    def test_double_start_rejected(self, service):
+        with SecurityServiceHTTPServer(ServiceApp(service)) as server:
+            with pytest.raises(RuntimeError):
+                server.start()
