@@ -1,0 +1,166 @@
+"""Fleet-scale end-to-end: sharded IoTSSP under simulated gateway load.
+
+Drives :class:`~repro.netsim.fleet.FleetSimulator` — thousands of
+simulated gateways pushing bounded-queue pipelines — against a
+:class:`~repro.securityservice.sharding.ShardedSecurityService` (4 shards
+warm-started from one shared model store), reporting sustained
+identifications/sec and p50/p99 directive latency at 10k, 100k and (with
+``--full``) 1M simulated devices.
+
+Correctness is asserted before any timing is reported: zero drops and
+zero stalls at the default healthy arrival rate, and every directive's
+device type must match the fingerprint's true label (the 8 profiled
+types are confusion-group-free, so identification is exact).
+
+Run standalone (writes ``benchmarks/results/fleet_e2e.txt``)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_e2e.py
+    PYTHONPATH=src python benchmarks/bench_fleet_e2e.py --smoke
+    PYTHONPATH=src python benchmarks/bench_fleet_e2e.py --full
+
+``--smoke`` runs the 10k tier only, keeps the assertions, and skips the
+results file — CI's correctness gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from repro.core import ModelStore
+from repro.core.registry import DeviceTypeRegistry
+from repro.devices import collect_fingerprints, profile_by_name
+from repro.netsim import FleetSimulator
+from repro.securityservice import DirectTransport, ShardedSecurityService
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Confusion-group-free profiles: identification is exact, so the bench
+#: can assert 100% verdict accuracy while measuring throughput.
+PROFILES = (
+    "Aria",
+    "HueBridge",
+    "WeMoSwitch",
+    "EdnetGateway",
+    "MAXGateway",
+    "EdimaxCam",
+    "HomeMaticPlug",
+    "Lightify",
+)
+TIERS = (10_000, 100_000)
+FULL_TIERS = (10_000, 100_000, 1_000_000)
+NUM_SHARDS = 4
+RUNS_PER_TYPE = 8
+POOL_PER_TYPE = 4
+#: Acceptance floor on sustained identifications/sec at the 10k tier.
+MIN_IDS_PER_SEC = 1_000.0
+
+
+def _build_corpus(seed: int):
+    rng = np.random.default_rng(seed)
+    registry = DeviceTypeRegistry()
+    pool = {}
+    for name in PROFILES:
+        fingerprints = collect_fingerprints(
+            profile_by_name(name), runs=RUNS_PER_TYPE, rng=rng
+        )
+        registry.add_many(name, fingerprints)
+        pool[name] = fingerprints[:POOL_PER_TYPE]
+    return registry, pool
+
+
+def run_benchmark(*, smoke: bool = False, full: bool = False, seed: int = 3) -> dict:
+    tiers = TIERS[:1] if smoke else (FULL_TIERS if full else TIERS)
+    registry, pool = _build_corpus(seed)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ModelStore(Path(tmp))
+        start = time.perf_counter()
+        front = ShardedSecurityService(NUM_SHARDS, store=store, random_state=seed)
+        front.train(registry)
+        t_train = time.perf_counter() - start
+        assert front.cache_hits == NUM_SHARDS - 1, "store should warm-start N-1 shards"
+        transport = DirectTransport(front)
+
+        rows = []
+        for devices in tiers:
+            stats = FleetSimulator(transport, pool, num_devices=devices).run()
+            assert stats.processed == devices, (
+                f"{devices - stats.processed} devices unserved at the {devices} tier"
+            )
+            assert stats.dropped == 0 and stats.stalled_devices == 0
+            assert stats.accuracy == 1.0, f"accuracy {stats.accuracy} at {devices}"
+            rows.append(
+                {
+                    "devices": devices,
+                    "gateways": stats.gateways,
+                    "ids_per_sec": stats.ids_per_sec,
+                    "p50_ms": stats.p50_latency_s * 1e3,
+                    "p99_ms": stats.p99_latency_s * 1e3,
+                }
+            )
+
+    lines = [
+        "fleet_e2e — sharded IoTSSP under fleet simulation",
+        f"{NUM_SHARDS} shards, {len(PROFILES)} device types, "
+        f"train+warm-start {t_train:.2f} s (cache hits {NUM_SHARDS - 1}/{NUM_SHARDS}), "
+        f"seed {seed}" + (" [smoke]" if smoke else ""),
+        "",
+        f"{'devices':>9}  {'gateways':>8}  {'ids/sec':>10}  {'p50':>9}  {'p99':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['devices']:>9,}  {row['gateways']:>8,}  "
+            f"{row['ids_per_sec']:>10,.0f}  {row['p50_ms']:>7.2f}ms  "
+            f"{row['p99_ms']:>7.2f}ms"
+        )
+    return {
+        "report": "\n".join(lines),
+        "rows": rows,
+        "ids_per_sec_10k": rows[0]["ids_per_sec"],
+    }
+
+
+def test_fleet_e2e_smoke(benchmark):
+    """Pytest entry: the 10k tier with all correctness assertions."""
+    result = benchmark.pedantic(
+        lambda: run_benchmark(smoke=True), rounds=1, iterations=1
+    )
+    assert result["ids_per_sec_10k"] >= MIN_IDS_PER_SEC, result["report"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="10k tier only, correctness assertions, no results file",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="add the 1M-device tier"
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--output", default=None,
+        help="results path (default benchmarks/results/fleet_e2e.txt; "
+        "ignored with --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(smoke=args.smoke, full=args.full, seed=args.seed)
+    print(result["report"])
+    if not args.smoke:
+        if result["ids_per_sec_10k"] < MIN_IDS_PER_SEC:
+            print(f"\nFAIL: 10k-tier throughput below {MIN_IDS_PER_SEC:.0f} ids/sec")
+            return 1
+        output = Path(args.output) if args.output else RESULTS_DIR / "fleet_e2e.txt"
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(result["report"] + "\n")
+        print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,9 @@ Subcommands mirror the operational workflow:
 * ``faultsim`` — drive the gateway pipeline through a scripted IoTSSP
   outage (retries, circuit breaker, degraded-mode quarantine; see
   ``docs/robustness.md``)
+* ``fleetsim`` — drive a sharded IoTSSP with a simulated gateway fleet
+  (consistent-hash routing, bounded queues, backpressure policies; see
+  ``docs/scaling.md``)
 * ``serve``    — stand the IoTSSP up as a real HTTP service (report
   submission, directive lookup, type enrolment, live ``/metrics``; see
   ``docs/serving.md``)
@@ -438,6 +441,83 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fleetsim(args: argparse.Namespace) -> int:
+    """Simulated gateway fleet against a sharded IoTSSP.
+
+    Trains an N-shard :class:`ShardedSecurityService` (warm-started from
+    a shared model store when ``--store`` is given) and streams
+    ``--devices`` simulated devices through bounded gateway pipelines,
+    printing sustained identifications/sec, p50/p99 directive latency,
+    and the drop/stall counts the chosen overflow policy produced.
+    """
+    import json as _json
+
+    from repro.core.persistence import ModelStore
+    from repro.core.registry import DeviceTypeRegistry
+    from repro.devices import collect_fingerprints
+    from repro.netsim import FleetSimulator, OverflowPolicy
+    from repro.securityservice import DirectTransport, ShardedSecurityService
+
+    rng = np.random.default_rng(args.seed)
+    names = args.types or [
+        "Aria", "HueBridge", "WeMoSwitch", "EdnetGateway",
+        "MAXGateway", "EdimaxCam", "HomeMaticPlug", "Lightify",
+    ]
+    registry = DeviceTypeRegistry()
+    pool = {}
+    for name in names:
+        fingerprints = collect_fingerprints(profile_by_name(name), runs=args.runs, rng=rng)
+        registry.add_many(name, fingerprints)
+        pool[name] = fingerprints[: max(1, args.runs // 2)]
+
+    store = ModelStore(args.store) if args.store else None
+    with _observed(args):
+        front = ShardedSecurityService(args.shards, store=store, random_state=args.seed)
+        front.train(registry)
+        simulator = FleetSimulator(
+            DirectTransport(front),
+            pool,
+            num_devices=args.devices,
+            devices_per_gateway=args.devices_per_gateway,
+            queue_capacity=args.capacity,
+            policy=OverflowPolicy(args.policy),
+            arrivals_per_round=args.arrival_rate,
+        )
+        stats = simulator.run()
+
+    summary = {
+        "devices": stats.devices,
+        "gateways": stats.gateways,
+        "shards": front.num_shards,
+        "policy": args.policy,
+        "processed": stats.processed,
+        "dropped": stats.dropped,
+        "stalled": stats.stalled_devices,
+        "accuracy": round(stats.accuracy, 4),
+        "ids_per_sec": round(stats.ids_per_sec, 1),
+        "p50_latency_ms": round(stats.p50_latency_s * 1e3, 3),
+        "p99_latency_ms": round(stats.p99_latency_s * 1e3, 3),
+        "warm_start_hits": front.cache_hits,
+    }
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+    else:
+        print(
+            f"{stats.devices:,} devices across {stats.gateways:,} gateways "
+            f"-> {front.num_shards} shards ({args.policy})"
+        )
+        print(
+            f"processed {stats.processed:,} (accuracy {stats.accuracy:.1%}), "
+            f"dropped {stats.dropped:,}, stalled {stats.stalled_devices:,}"
+        )
+        print(
+            f"sustained {stats.ids_per_sec:,.0f} ids/sec, directive latency "
+            f"p50 {stats.p50_latency_s * 1e3:.2f} ms / "
+            f"p99 {stats.p99_latency_s * 1e3:.2f} ms"
+        )
+    return 0 if stats.processed else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve the IoTSSP over HTTP until interrupted (``docs/serving.md``)."""
     import time as _time
@@ -627,6 +707,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_fault.add_argument("--json", action="store_true", help="machine-readable summary")
     _add_obs_flags(p_fault)
 
+    p_fleet = sub.add_parser(
+        "fleetsim", help="drive a sharded IoTSSP with a simulated gateway fleet"
+    )
+    p_fleet.add_argument("--devices", type=int, default=10_000, help="fleet size")
+    p_fleet.add_argument("--shards", type=int, default=4, help="IoTSSP shard count")
+    p_fleet.add_argument(
+        "--devices-per-gateway", type=int, default=200, help="devices behind each gateway"
+    )
+    p_fleet.add_argument(
+        "--capacity", type=int, default=64, help="bounded-queue capacity per pipeline hop"
+    )
+    p_fleet.add_argument(
+        "--policy", choices=["drop-oldest", "block"], default="drop-oldest",
+        help="overflow policy for full queues",
+    )
+    p_fleet.add_argument(
+        "--arrival-rate", type=int, default=64,
+        help="profiling completions arriving per pipeline pass "
+        "(raise past --capacity to force overload)",
+    )
+    p_fleet.add_argument(
+        "--types", nargs="+", default=None, help="device types to simulate"
+    )
+    p_fleet.add_argument("--runs", type=int, default=8, help="training runs per type")
+    p_fleet.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared model store: train one shard, warm-start the rest",
+    )
+    p_fleet.add_argument("--seed", type=int, default=3)
+    p_fleet.add_argument("--json", action="store_true", help="machine-readable summary")
+    _add_obs_flags(p_fleet)
+
     p_serve = sub.add_parser(
         "serve", help="serve the IoTSSP over HTTP (see docs/serving.md)"
     )
@@ -674,6 +786,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "obs": _cmd_obs,
     "faultsim": _cmd_faultsim,
+    "fleetsim": _cmd_fleetsim,
     "serve": _cmd_serve,
 }
 

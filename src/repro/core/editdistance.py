@@ -10,6 +10,7 @@ longer sequence's length to land in [0, 1].
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from typing import Hashable
 
@@ -222,7 +223,12 @@ def dissimilarity_score_grouped(
             total += count * normalized_distance(candidate, reference)
         else:
             remaining = (bound - total) / count
-            total += count * normalized_distance(candidate, reference, cutoff=remaining)
-            if total > bound:
-                break
+            term = normalized_distance(candidate, reference, cutoff=remaining)
+            total += count * term
+            if term > remaining:
+                # The term (exact, or an abandoned-DP certificate strictly
+                # above the cutoff) exceeds the remaining budget, so the true
+                # score is provably > bound — but the rounded running sum can
+                # land exactly on bound, so bump past it explicitly.
+                return max(total, math.nextafter(bound, math.inf))
     return total

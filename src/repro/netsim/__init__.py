@@ -8,6 +8,13 @@ overhead numbers emerge from the mechanism rather than being hard-coded.
 
 from .contention import AirtimeMeter, ContentionModel
 from .eventsim import EventScheduler
+from .fleet import (
+    BoundedQueue,
+    FleetGateway,
+    FleetSimulator,
+    FleetStats,
+    OverflowPolicy,
+)
 from .flows import FlowLoadGenerator, FlowSpec
 from .gatewaymodel import ServiceCosts, SimulatedGateway
 from .latency import DEFAULT_LINKS, HopModel, LinkProfile
@@ -17,11 +24,16 @@ from .topology import LabTopology, SimHost
 
 __all__ = [
     "AirtimeMeter",
+    "BoundedQueue",
     "ContentionModel",
     "DEFAULT_LINKS",
     "EventScheduler",
+    "FleetGateway",
+    "FleetSimulator",
+    "FleetStats",
     "FlowLoadGenerator",
     "FlowSpec",
+    "OverflowPolicy",
     "HopModel",
     "LabTopology",
     "LatencyProbe",

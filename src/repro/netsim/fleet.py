@@ -1,0 +1,354 @@
+"""Fleet-scale load driver: thousands of gateways, bounded queues, backpressure.
+
+The Fig. 4 testbed models one gateway faithfully; this module trades per-
+packet fidelity for *scale*, driving a sharded IoTSSP with up to a million
+simulated devices.  Each :class:`FleetGateway` is the skeleton of the real
+data plane — a monitor→sentinel completion queue and a sentinel→transport
+report queue, both explicitly bounded — so overload behaviour (queue
+growth, drops, backpressure stalls) emerges from the same two-hop shape
+the real :class:`~repro.gateway.gateway.SecurityGateway` has.
+
+Overflow is a policy choice per queue:
+
+* ``DROP_OLDEST`` — evict the stalest item to admit the new one (lossy,
+  never stalls upstream); evictions count toward ``fleet_queue_dropped_total``.
+* ``BLOCK`` — refuse new items while full; the refusal propagates
+  upstream as backpressure (the simulator stops offering arrivals until
+  a drain makes room).  ``drain_profiling`` does bounded work per call,
+  so a full queue over a dead transport returns instead of deadlocking
+  (pinned by the backpressure regression tests).
+
+Queue depths aggregate across all gateways into one ``stage``-labelled
+gauge via +/- deltas — fleet-wide occupancy without per-gateway label
+cardinality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.fingerprint import Fingerprint
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import names as obs_names
+from repro.securityservice.protocol import FingerprintReport, IsolationDirective
+
+__all__ = [
+    "OverflowPolicy",
+    "BoundedQueue",
+    "FleetGateway",
+    "FleetSimulator",
+    "FleetStats",
+]
+
+
+class OverflowPolicy(str, Enum):
+    """What a bounded queue does when an offer arrives while full."""
+
+    DROP_OLDEST = "drop-oldest"
+    BLOCK = "block"
+
+
+@dataclass
+class QueuedItem:
+    """One queued unit of work, stamped with its arrival time."""
+
+    mac: str
+    payload: object
+    enqueued_at: float
+
+
+class BoundedQueue:
+    """A capacity-bounded FIFO with an explicit overflow policy.
+
+    Depth changes feed the fleet-wide ``fleet_queue_depth`` gauge (one
+    ``stage`` label per pipeline hop, deltas only); drop-oldest evictions
+    feed ``fleet_queue_dropped_total``.
+    """
+
+    def __init__(self, stage: str, capacity: int, policy: OverflowPolicy) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.stage = stage
+        self.capacity = capacity
+        self.policy = policy
+        self.dropped = 0
+        self._items: deque[QueuedItem] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def _gauge(self):
+        return obs_gauge(obs_names.METRIC_FLEET_QUEUE_DEPTH, stage=self.stage)
+
+    def offer(self, mac: str, payload: object, now: float) -> bool:
+        """Try to enqueue; False means refused (BLOCK policy, queue full)."""
+        if self.full:
+            if self.policy is OverflowPolicy.BLOCK:
+                return False
+            self._items.popleft()
+            self.dropped += 1
+            obs_counter(obs_names.METRIC_FLEET_QUEUE_DROPPED, stage=self.stage).inc()
+            self._gauge().add(-1)
+        self._items.append(QueuedItem(mac, payload, now))
+        self._gauge().add(1)
+        return True
+
+    def drain(self, limit: int | None = None) -> list[QueuedItem]:
+        """Dequeue up to ``limit`` items (all, when None) in FIFO order."""
+        count = len(self._items) if limit is None else min(limit, len(self._items))
+        taken = [self._items.popleft() for _ in range(count)]
+        if taken:
+            self._gauge().add(-len(taken))
+        return taken
+
+    def requeue_front(self, items: Sequence[QueuedItem]) -> None:
+        """Put just-drained items back at the head, preserving order.
+
+        Used when a downstream submit fails after a drain: the drain freed
+        exactly these slots, so this never exceeds capacity.
+        """
+        for item in reversed(items):
+            self._items.appendleft(item)
+        if items:
+            self._gauge().add(len(items))
+
+    def forget(self, mac: str) -> int:
+        """Remove every item for one device (detach); returns the count."""
+        kept = deque(item for item in self._items if item.mac != mac)
+        removed = len(self._items) - len(kept)
+        self._items = kept
+        if removed:
+            self._gauge().add(-removed)
+        return removed
+
+    def clear(self) -> None:
+        if self._items:
+            self._gauge().add(-len(self._items))
+        self._items.clear()
+
+
+class FleetGateway:
+    """The two-hop bounded pipeline of one simulated gateway.
+
+    ``monitor`` queue holds completed profiling captures (fingerprints)
+    awaiting the sentinel step; ``sentinel`` queue holds built reports
+    awaiting transport submission.  Both hops apply the same overflow
+    policy; backpressure composes hop-to-hop under BLOCK.
+    """
+
+    def __init__(
+        self,
+        gateway_id: str,
+        *,
+        capacity: int = 64,
+        policy: OverflowPolicy = OverflowPolicy.DROP_OLDEST,
+    ) -> None:
+        self.gateway_id = gateway_id
+        self.completions = BoundedQueue("monitor", capacity, policy)
+        self.reports = BoundedQueue("sentinel", capacity, policy)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.completions) + len(self.reports)
+
+    @property
+    def dropped(self) -> int:
+        return self.completions.dropped + self.reports.dropped
+
+    def accept_completion(self, fingerprint: Fingerprint, now: float) -> bool:
+        """Offer one completed profiling capture (monitor hop)."""
+        return self.completions.offer(fingerprint.device_mac, fingerprint, now)
+
+    def detach_device(self, mac: str) -> int:
+        """Drop all queued work for one device (device left the network)."""
+        return self.completions.forget(mac) + self.reports.forget(mac)
+
+    def drain_profiling(
+        self,
+        transport,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        batch_size: int = 64,
+    ) -> list[tuple[FingerprintReport, IsolationDirective, float, float]]:
+        """One bounded pipeline pass: sentinel step, then transport submits.
+
+        Returns ``(report, directive, enqueued_at, completed_at)`` per
+        served device, with ``completed_at`` stamped after the submit
+        returns so the latency spread includes service time.  Work per
+        call is bounded by current queue depths: a failed submit requeues
+        its batch and returns — callers decide whether to retry, so a
+        full BLOCK queue over a dead service can never deadlock this
+        method.
+        """
+        # Hop 1 (sentinel step): completions -> reports, until refused.
+        moved = 0
+        budget = len(self.completions)
+        while moved < budget:
+            head = self.completions.drain(1)
+            if not head:
+                break
+            item = head[0]
+            report = FingerprintReport(
+                fingerprint=item.payload, gateway_id=self.gateway_id
+            )
+            if not self.reports.offer(item.mac, report, item.enqueued_at):
+                self.completions.requeue_front(head)  # backpressure upstream
+                break
+            moved += 1
+
+        # Hop 2: submit report batches; a failure re-queues and stops.
+        delivered: list[tuple[FingerprintReport, IsolationDirective, float, float]] = []
+        while len(self.reports):
+            batch = self.reports.drain(batch_size)
+            try:
+                directives = transport.submit_many([item.payload for item in batch])
+            except Exception:
+                self.reports.requeue_front(batch)
+                break
+            completed_at = clock()
+            for item, directive in zip(batch, directives):
+                delivered.append((item.payload, directive, item.enqueued_at, completed_at))
+        return delivered
+
+
+@dataclass
+class FleetStats:
+    """Aggregate outcome of one :meth:`FleetSimulator.run`."""
+
+    devices: int
+    gateways: int
+    processed: int
+    dropped: int
+    correct: int
+    stalled_devices: int
+    elapsed_s: float
+    ids_per_sec: float
+    p50_latency_s: float
+    p99_latency_s: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.processed if self.processed else 0.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+@dataclass
+class FleetSimulator:
+    """Drive a fleet of gateways against one (sharded) IoTSSP transport.
+
+    Gateways run in sequence, each streaming its devices through the
+    bounded two-hop pipeline — memory stays O(devices per gateway) even
+    at a million devices.  Devices draw fingerprints from a per-type pool
+    (round-robin over ``sorted(pool)``) re-stamped with a deterministic
+    per-device MAC, so every report routes and verifies independently.
+    """
+
+    transport: object
+    pool: Mapping[str, Sequence[Fingerprint]]
+    num_devices: int
+    devices_per_gateway: int = 200
+    queue_capacity: int = 64
+    policy: OverflowPolicy = OverflowPolicy.DROP_OLDEST
+    batch_size: int = 64
+    #: Profiling completions arriving between pipeline passes.  At the
+    #: default (== queue capacity) a healthy service keeps up exactly;
+    #: raise it past capacity to push the fleet into overload and watch
+    #: the chosen policy respond (drops vs. stalls).
+    arrivals_per_round: int = 64
+    clock: Callable[[], float] = time.perf_counter
+    #: Give up on a gateway after this many zero-progress rounds (dead
+    #: transport under BLOCK); its queued devices count as stalled.
+    max_stalled_rounds: int = 2
+    _types: list[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if not self.pool:
+            raise ValueError("fingerprint pool must not be empty")
+        self._types = sorted(self.pool)
+
+    @staticmethod
+    def mac_for(index: int) -> str:
+        """Deterministic locally-administered MAC for device ``index``."""
+        tail = f"{index:010x}"
+        return "02:" + ":".join(tail[i : i + 2] for i in range(0, 10, 2))
+
+    def fingerprint_for(self, index: int) -> Fingerprint:
+        label = self._types[index % len(self._types)]
+        exemplars = self.pool[label]
+        base = exemplars[index % len(exemplars)]
+        return dataclasses.replace(base, device_mac=self.mac_for(index), label=label)
+
+    def run(self) -> FleetStats:
+        processed = correct = stalled = total_dropped = 0
+        latencies: list[float] = []
+        num_gateways = -(-self.num_devices // self.devices_per_gateway)
+        started = self.clock()
+        for g in range(num_gateways):
+            first = g * self.devices_per_gateway
+            last = min(self.num_devices, first + self.devices_per_gateway)
+            gateway = FleetGateway(
+                f"gw-{g:06d}", capacity=self.queue_capacity, policy=self.policy
+            )
+            arrivals = deque(range(first, last))
+            stalled_rounds = 0
+            while arrivals or gateway.backlog:
+                progress = 0
+                offered = 0
+                while arrivals and offered < self.arrivals_per_round:
+                    fingerprint = self.fingerprint_for(arrivals[0])
+                    if not gateway.accept_completion(fingerprint, self.clock()):
+                        break  # BLOCK backpressure: halt arrivals this round
+                    arrivals.popleft()
+                    offered += 1
+                    progress += 1
+                served = gateway.drain_profiling(
+                    self.transport, clock=self.clock, batch_size=self.batch_size
+                )
+                progress += len(served)
+                for report, directive, enqueued_at, completed_at in served:
+                    processed += 1
+                    latencies.append(completed_at - enqueued_at)
+                    if directive.device_type == report.fingerprint.label:
+                        correct += 1
+                if progress == 0:
+                    stalled_rounds += 1
+                    if stalled_rounds >= self.max_stalled_rounds:
+                        stalled += len(arrivals) + gateway.backlog
+                        gateway.completions.clear()
+                        gateway.reports.clear()
+                        break
+                else:
+                    stalled_rounds = 0
+            total_dropped += gateway.dropped
+        elapsed = self.clock() - started
+        latencies.sort()
+        return FleetStats(
+            devices=self.num_devices,
+            gateways=num_gateways,
+            processed=processed,
+            dropped=total_dropped,
+            correct=correct,
+            stalled_devices=stalled,
+            elapsed_s=elapsed,
+            ids_per_sec=processed / elapsed if elapsed > 0 else 0.0,
+            p50_latency_s=_percentile(latencies, 0.50),
+            p99_latency_s=_percentile(latencies, 0.99),
+        )

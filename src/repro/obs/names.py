@@ -38,6 +38,7 @@ __all__ = [
     "SPAN_TRANSPORT_ATTEMPT",
     "SPAN_GATEWAY_BATCH",
     "SPAN_HTTP_REQUEST",
+    "SPAN_SHARD_ROUTE",
     # metrics
     "METRIC_PACKETS_SEEN",
     "METRIC_PACKETS_DROPPED",
@@ -68,6 +69,9 @@ __all__ = [
     "METRIC_HTTP_REQUESTS",
     "METRIC_HTTP_RATE_LIMITED",
     "METRIC_HTTP_AUTH_FAILURES",
+    "METRIC_SHARD_REPORTS",
+    "METRIC_FLEET_QUEUE_DEPTH",
+    "METRIC_FLEET_QUEUE_DROPPED",
     "SPAN_NAMES",
     "METRIC_NAMES",
 ]
@@ -108,6 +112,8 @@ SPAN_TRANSPORT_ATTEMPT = "transport.submit.attempt"
 SPAN_GATEWAY_BATCH = "gateway.process_batch"
 #: One HTTP request through the IoTSSP serving tier's router.
 SPAN_HTTP_REQUEST = "service.http.request"
+#: One consistent-hash routing decision (scalar or batch) in the sharded front.
+SPAN_SHARD_ROUTE = "service.shard.route"
 
 # --- metrics -----------------------------------------------------------------
 
@@ -171,6 +177,13 @@ METRIC_HTTP_REQUESTS = "service_http_requests_total"
 METRIC_HTTP_RATE_LIMITED = "service_http_rate_limited_total"
 #: Requests rejected 401 (missing, unknown, or wrong API key).
 METRIC_HTTP_AUTH_FAILURES = "service_http_auth_failures_total"
+#: Fingerprint reports routed to each shard, labelled ``shard``.
+METRIC_SHARD_REPORTS = "service_shard_reports_total"
+#: Items sitting in fleet-gateway bounded queues, labelled ``stage``
+#: (aggregated across gateways via deltas to keep cardinality bounded).
+METRIC_FLEET_QUEUE_DEPTH = "fleet_queue_depth"
+#: Items evicted by the drop-oldest overflow policy, labelled ``stage``.
+METRIC_FLEET_QUEUE_DROPPED = "fleet_queue_dropped_total"
 
 #: Every canonical span name (checked against the docs table by CI).
 SPAN_NAMES = frozenset(
@@ -192,6 +205,7 @@ SPAN_NAMES = frozenset(
         SPAN_TRANSPORT_ATTEMPT,
         SPAN_GATEWAY_BATCH,
         SPAN_HTTP_REQUEST,
+        SPAN_SHARD_ROUTE,
     }
 )
 
@@ -227,5 +241,8 @@ METRIC_NAMES = frozenset(
         METRIC_HTTP_REQUESTS,
         METRIC_HTTP_RATE_LIMITED,
         METRIC_HTTP_AUTH_FAILURES,
+        METRIC_SHARD_REPORTS,
+        METRIC_FLEET_QUEUE_DEPTH,
+        METRIC_FLEET_QUEUE_DROPPED,
     }
 )

@@ -36,6 +36,7 @@ from .resilience import (
     TransportTimeout,
 )
 from .service import IoTSecurityService
+from .sharding import DEFAULT_VNODES, HashRing, ShardedSecurityService
 from .vulndb import VulnerabilityDatabase, VulnerabilityRecord, seed_database
 
 __all__ = [
@@ -44,11 +45,13 @@ __all__ = [
     "Assessment",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DEFAULT_VNODES",
     "DirectTransport",
     "Fault",
     "FaultInjectingTransport",
     "FingerprintReport",
     "GatewayRateLimiter",
+    "HashRing",
     "HttpTransport",
     "IoTSecurityService",
     "IsolationDirective",
@@ -59,6 +62,7 @@ __all__ = [
     "SecurityServiceHTTPServer",
     "ServiceApp",
     "ServiceUnavailable",
+    "ShardedSecurityService",
     "SystemClock",
     "Transport",
     "TransportFault",

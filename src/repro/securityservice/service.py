@@ -62,6 +62,16 @@ class IoTSecurityService:
         self._registry = registry
         self.identifier.fit(registry, n_jobs=self.n_jobs)
 
+    def adopt_model(self, registry: DeviceTypeRegistry, identifier: DeviceIdentifier) -> None:
+        """Install a pre-trained identifier (e.g. a ModelStore warm start).
+
+        Equivalent to :meth:`train` when ``identifier`` was fit on
+        ``registry`` with the same entropy — the path the sharded front
+        uses to train once and load N byte-identical shard replicas.
+        """
+        self._registry = registry
+        self.identifier = identifier
+
     def enroll_type(self, label: str, fingerprints: Iterable[Fingerprint]) -> None:
         """Add one new device type incrementally (no global relearning)."""
         self._registry.add_many(label, list(fingerprints))
@@ -130,6 +140,14 @@ class IoTSecurityService:
             directives = [self._directive_for(result.label) for result in results]
             span.set(batch=len(reports))
             return directives
+
+    def directive_for_type(self, device_type: str) -> IsolationDirective:
+        """Issue a directive for an already-identified type (no classification).
+
+        The cross-shard directive lookup: a gateway holding a verdict from
+        one shard can ask any replica for the current isolation policy.
+        """
+        return self._directive_for(device_type)
 
     def _directive_for(self, label: str) -> IsolationDirective:
         assessment = self.assess_type(label)

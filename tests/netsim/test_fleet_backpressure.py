@@ -1,0 +1,250 @@
+"""Bounded-queue backpressure: drop-oldest vs block, gauges, no deadlock.
+
+The fleet pipeline's overload behaviour is a policy contract:
+
+* DROP_OLDEST sheds the stalest work, counts every eviction, and never
+  refuses an offer.
+* BLOCK refuses offers while full, and the refusal propagates upstream
+  hop-by-hop (transport stall → sentinel queue full → monitor queue
+  full → arrivals halt) without ever deadlocking ``drain_profiling``.
+* The ``fleet_queue_depth`` gauge tracks true occupancy through every
+  mutation path — offers, drains, requeues, ``forget``/detach, clear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.netsim import BoundedQueue, FleetGateway, FleetSimulator, OverflowPolicy
+from repro.obs import RecordingProvider, metrics_snapshot, use_provider
+from repro.sdn import IsolationLevel
+from repro.securityservice import IsolationDirective
+
+
+def depth_samples(provider):
+    samples = metrics_snapshot(provider.metrics).get("fleet_queue_depth", {})
+    return {s["labels"]["stage"]: s["value"] for s in samples.get("samples", [])}
+
+
+def dropped_samples(provider):
+    samples = metrics_snapshot(provider.metrics).get("fleet_queue_dropped_total", {})
+    return {s["labels"]["stage"]: s["value"] for s in samples.get("samples", [])}
+
+
+class EchoTransport:
+    """Answers every report instantly with a TRUSTED directive."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit_many(self, reports):
+        self.submitted.extend(reports)
+        return [
+            IsolationDirective(
+                device_type=r.fingerprint.label or "Dev", level=IsolationLevel.TRUSTED
+            )
+            for r in reports
+        ]
+
+
+class DeadTransport:
+    """Every submit fails — a hard IoTSSP outage."""
+
+    def __init__(self):
+        self.attempts = 0
+
+    def submit_many(self, reports):
+        self.attempts += 1
+        raise ConnectionError("service unreachable")
+
+
+def fingerprint_for(small_registry, mac):
+    base = small_registry.fingerprints("Aria")[0]
+    return dataclasses.replace(base, device_mac=mac)
+
+
+class TestDropOldest:
+    def test_evicts_head_and_counts(self):
+        queue = BoundedQueue("monitor", 3, OverflowPolicy.DROP_OLDEST)
+        for i in range(5):
+            assert queue.offer(f"mac-{i}", i, now=float(i))  # never refuses
+        assert len(queue) == 3
+        assert queue.dropped == 2
+        assert [item.payload for item in queue.drain()] == [2, 3, 4]  # stalest gone
+
+    def test_eviction_feeds_counter_and_gauge(self):
+        with use_provider(RecordingProvider()) as provider:
+            queue = BoundedQueue("monitor", 2, OverflowPolicy.DROP_OLDEST)
+            for i in range(5):
+                queue.offer(f"mac-{i}", i, now=0.0)
+            assert depth_samples(provider) == {"monitor": 2.0}
+            assert dropped_samples(provider) == {"monitor": 3.0}
+
+
+class TestBlock:
+    def test_refuses_while_full(self):
+        queue = BoundedQueue("monitor", 2, OverflowPolicy.BLOCK)
+        assert queue.offer("a", 1, now=0.0)
+        assert queue.offer("b", 2, now=0.0)
+        assert not queue.offer("c", 3, now=0.0)  # refused, nothing dropped
+        assert queue.dropped == 0
+        assert [item.payload for item in queue.drain(1)] == [1]
+        assert queue.offer("c", 3, now=0.0)  # room again after a drain
+
+    def test_requeue_front_preserves_order(self):
+        queue = BoundedQueue("sentinel", 4, OverflowPolicy.BLOCK)
+        for i in range(4):
+            queue.offer(f"mac-{i}", i, now=float(i))
+        batch = queue.drain(3)
+        queue.requeue_front(batch)
+        assert [item.payload for item in queue.drain()] == [0, 1, 2, 3]
+
+
+class TestGaugeCorrectness:
+    def test_gauge_tracks_every_mutation_path(self):
+        with use_provider(RecordingProvider()) as provider:
+            queue = BoundedQueue("monitor", 8, OverflowPolicy.BLOCK)
+            for i in range(6):
+                queue.offer(f"mac-{i % 2}", i, now=0.0)
+            assert depth_samples(provider)["monitor"] == 6.0
+            batch = queue.drain(2)
+            assert depth_samples(provider)["monitor"] == 4.0
+            queue.requeue_front(batch)
+            assert depth_samples(provider)["monitor"] == 6.0
+            removed = queue.forget("mac-0")
+            assert removed == 3
+            assert depth_samples(provider)["monitor"] == 3.0
+            queue.clear()
+            assert depth_samples(provider)["monitor"] == 0.0
+            assert len(queue) == 0
+
+    def test_detach_device_updates_both_stage_gauges(self, small_registry):
+        with use_provider(RecordingProvider()) as provider:
+            gateway = FleetGateway("gw-0", capacity=8, policy=OverflowPolicy.BLOCK)
+            for i in range(4):
+                gateway.accept_completion(
+                    fingerprint_for(small_registry, f"02:00:00:00:00:{i:02x}"), now=0.0
+                )
+            # Move two completions into the sentinel queue via a failed
+            # submit: hop 1 runs, hop 2 requeues.
+            gateway.drain_profiling(DeadTransport())
+            depths = depth_samples(provider)
+            assert depths["monitor"] + depths["sentinel"] == 4.0
+            assert depths["sentinel"] > 0.0
+            removed = gateway.detach_device("02:00:00:00:00:01")
+            assert removed == 1
+            depths = depth_samples(provider)
+            assert depths["monitor"] + depths["sentinel"] == 3.0
+            assert gateway.backlog == 3
+
+
+class TestNoDeadlock:
+    """Regression: a full BLOCK queue over a dead transport must return."""
+
+    def test_drain_profiling_returns_with_dead_transport(self, small_registry):
+        gateway = FleetGateway("gw-0", capacity=4, policy=OverflowPolicy.BLOCK)
+        for i in range(4):
+            assert gateway.accept_completion(
+                fingerprint_for(small_registry, f"02:00:00:00:00:{i:02x}"), now=0.0
+            )
+        assert not gateway.accept_completion(
+            fingerprint_for(small_registry, "02:00:00:00:00:ff"), now=0.0
+        )  # monitor queue full: backpressure reaches the arrival source
+        transport = DeadTransport()
+        for _ in range(3):  # repeated passes stay bounded and lose nothing
+            served = gateway.drain_profiling(transport)
+            assert served == []
+            assert gateway.backlog == 4
+        assert transport.attempts == 3  # one failed submit per pass, then return
+
+    def test_work_survives_outage_and_drains_after_recovery(self, small_registry):
+        gateway = FleetGateway("gw-0", capacity=4, policy=OverflowPolicy.BLOCK)
+        macs = [f"02:00:00:00:00:{i:02x}" for i in range(4)]
+        for mac in macs:
+            gateway.accept_completion(fingerprint_for(small_registry, mac), now=1.0)
+        gateway.drain_profiling(DeadTransport())
+        assert gateway.backlog == 4  # requeued, nothing lost
+        echo = EchoTransport()
+        served = gateway.drain_profiling(echo)
+        assert [report.fingerprint.device_mac for report, _, _, _ in served] == macs
+        assert gateway.backlog == 0
+        # Latency bookkeeping survived the requeue round-trip.
+        assert all(enqueued_at == 1.0 for _, _, enqueued_at, _ in served)
+
+    def test_hop1_backpressure_when_sentinel_queue_full(self, small_registry):
+        gateway = FleetGateway("gw-0", capacity=2, policy=OverflowPolicy.BLOCK)
+        gateway.accept_completion(fingerprint_for(small_registry, "02:00:00:00:00:01"), now=0.0)
+        gateway.accept_completion(fingerprint_for(small_registry, "02:00:00:00:00:02"), now=0.0)
+        gateway.drain_profiling(DeadTransport())  # sentinel queue now holds 2
+        assert len(gateway.reports) == 2
+        gateway.accept_completion(fingerprint_for(small_registry, "02:00:00:00:00:03"), now=0.0)
+        gateway.drain_profiling(DeadTransport())
+        # Hop 1 was refused (sentinel full) and requeued upstream instead
+        # of spinning or dropping.
+        assert len(gateway.completions) == 1
+        assert gateway.backlog == 3
+
+
+class TestSimulatorPolicies:
+    def _pool(self, small_registry):
+        return {"Aria": small_registry.fingerprints("Aria")[:2]}
+
+    def test_overload_drop_oldest_sheds_and_finishes(self, small_registry):
+        sim = FleetSimulator(
+            transport=DeadTransport(),
+            pool=self._pool(small_registry),
+            num_devices=40,
+            devices_per_gateway=40,
+            queue_capacity=8,
+            policy=OverflowPolicy.DROP_OLDEST,
+            arrivals_per_round=16,
+        )
+        stats = sim.run()  # terminates despite a dead service
+        assert stats.processed == 0
+        assert stats.dropped > 0
+        assert stats.dropped + stats.stalled_devices == 40
+
+    def test_overload_block_is_lossless(self, small_registry):
+        sim = FleetSimulator(
+            transport=EchoTransport(),
+            pool=self._pool(small_registry),
+            num_devices=40,
+            devices_per_gateway=40,
+            queue_capacity=4,
+            policy=OverflowPolicy.BLOCK,
+            arrivals_per_round=16,  # arrivals outpace capacity: must backpressure
+            batch_size=4,
+        )
+        stats = sim.run()
+        assert stats.processed == 40
+        assert stats.dropped == 0
+        assert stats.stalled_devices == 0
+        assert stats.accuracy == 1.0
+
+    def test_dead_transport_under_block_stalls_not_spins(self, small_registry):
+        sim = FleetSimulator(
+            transport=DeadTransport(),
+            pool=self._pool(small_registry),
+            num_devices=10,
+            devices_per_gateway=10,
+            queue_capacity=4,
+            policy=OverflowPolicy.BLOCK,
+            arrivals_per_round=4,
+            max_stalled_rounds=2,
+        )
+        stats = sim.run()  # the stall detector must terminate the run
+        assert stats.processed == 0
+        assert stats.dropped == 0
+        assert stats.stalled_devices == 10
+
+    def test_validation(self, small_registry):
+        with pytest.raises(ValueError):
+            FleetSimulator(transport=EchoTransport(), pool={}, num_devices=1)
+        with pytest.raises(ValueError):
+            FleetSimulator(
+                transport=EchoTransport(), pool=self._pool(small_registry), num_devices=0
+            )
+        with pytest.raises(ValueError):
+            BoundedQueue("monitor", 0, OverflowPolicy.BLOCK)

@@ -1,0 +1,171 @@
+"""Consistent-hash ring properties (hypothesis).
+
+Pins the three guarantees the sharded IoTSSP leans on:
+
+* **Determinism** — ring layout and key routing are pure functions of
+  ``(seed, shard ids, vnodes)``: independent of insertion order, of the
+  process (SHA-256, not salted ``hash()``), and of anything else.
+* **Balance** — at 64 virtual nodes per shard the heaviest shard owns at
+  most 1.35x its fair share of the key space.  Checked on *exact* arc
+  ownership (:meth:`HashRing.load_fractions`), not sampled keys, over
+  the seed/shard domain the bound was verified on (the tail is a
+  distributional property: more shards or adversarial seeds widen it).
+* **Bounded remapping** — adding a shard moves only keys that land on
+  the newcomer; removing one moves only the keys it owned.  Either way
+  the moved fraction stays ≤ 2/N.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.securityservice import HashRing
+
+seeds = st.integers(min_value=0, max_value=29)
+shard_counts = st.integers(min_value=2, max_value=8)
+
+
+def _ring(num_shards: int, seed: int, **kwargs) -> HashRing:
+    return HashRing([f"shard-{i}" for i in range(num_shards)], seed=seed, **kwargs)
+
+
+def _keys(count: int = 2000) -> list[str]:
+    return [f"02:{i:010x}" for i in range(count)]
+
+
+class TestDeterminism:
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=25)
+    def test_insertion_order_irrelevant(self, seed, n):
+        forward = _ring(n, seed)
+        backward = HashRing([f"shard-{i}" for i in reversed(range(n))], seed=seed)
+        for key in _keys(200):
+            assert forward.route(key) == backward.route(key)
+
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=25)
+    def test_rebuilt_ring_routes_identically(self, seed, n):
+        first, second = _ring(n, seed), _ring(n, seed)
+        for key in _keys(200):
+            assert first.route(key) == second.route(key)
+
+    def test_routing_stable_across_processes(self):
+        """A fresh interpreter with a different hash salt routes the same."""
+        keys = _keys(50)
+        local = [_ring(5, seed=7).route(key) for key in keys]
+        script = (
+            "from repro.securityservice import HashRing\n"
+            "ring = HashRing([f'shard-{i}' for i in range(5)], seed=7)\n"
+            f"print('\\n'.join(ring.route(k) for k in {keys!r}))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert out.stdout.split() == local
+
+    def test_seed_changes_layout(self):
+        keys = _keys(500)
+        a, b = _ring(4, seed=0), _ring(4, seed=1)
+        assert any(a.route(k) != b.route(k) for k in keys)
+
+
+class TestBalance:
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=40)
+    def test_imbalance_bounded_at_64_vnodes(self, seed, n):
+        fractions = _ring(n, seed).load_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert max(fractions.values()) * n <= 1.35
+
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=10)
+    def test_sampled_routing_matches_arc_ownership(self, seed, n):
+        """Routed key shares converge on the exact arc fractions."""
+        ring = _ring(n, seed)
+        keys = _keys(20_000)
+        counts: dict[str, int] = {}
+        for key in keys:
+            shard = ring.route(key)
+            counts[shard] = counts.get(shard, 0) + 1
+        fractions = ring.load_fractions()
+        for shard_id in ring.shard_ids():
+            assert abs(counts.get(shard_id, 0) / len(keys) - fractions[shard_id]) < 0.02
+
+
+class TestBoundedRemapping:
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=20)
+    def test_add_moves_only_to_new_shard(self, seed, n):
+        ring = _ring(n, seed)
+        keys = _keys()
+        before = {key: ring.route(key) for key in keys}
+        ring.add("shard-new")
+        moved = [key for key in keys if ring.route(key) != before[key]]
+        assert all(ring.route(key) == "shard-new" for key in moved)
+        assert len(moved) / len(keys) <= 2.0 / n
+
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=20)
+    def test_remove_moves_only_orphaned_keys(self, seed, n):
+        ring = _ring(n, seed)
+        keys = _keys()
+        before = {key: ring.route(key) for key in keys}
+        victim = ring.shard_ids()[0]
+        ring.remove(victim)
+        for key in keys:
+            after = ring.route(key)
+            if before[key] == victim:
+                assert after != victim
+            else:
+                assert after == before[key]
+        orphaned = sum(1 for key in keys if before[key] == victim)
+        assert orphaned / len(keys) <= 2.0 / n
+
+    @given(seed=seeds, n=shard_counts)
+    @settings(max_examples=20)
+    def test_add_then_remove_restores_routing(self, seed, n):
+        ring = _ring(n, seed)
+        keys = _keys(500)
+        before = {key: ring.route(key) for key in keys}
+        ring.add("shard-transient")
+        ring.remove("shard-transient")
+        assert {key: ring.route(key) for key in keys} == before
+
+
+class TestRingEdges:
+    def test_empty_ring_refuses_routing(self):
+        with pytest.raises(ValueError):
+            HashRing().route("02:00:00:00:00:01")
+
+    def test_duplicate_add_rejected(self):
+        ring = _ring(2, seed=0)
+        with pytest.raises(ValueError):
+            ring.add("shard-0")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            _ring(2, seed=0).remove("shard-9")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_membership_protocol(self):
+        ring = _ring(3, seed=0)
+        assert len(ring) == 3
+        assert "shard-1" in ring
+        assert "shard-9" not in ring
+        assert ring.shard_ids() == ["shard-0", "shard-1", "shard-2"]

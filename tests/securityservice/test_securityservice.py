@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import UNKNOWN_DEVICE
+from repro.core.registry import DeviceTypeRegistry
 from repro.devices import collect_fingerprints, profile_by_name
 from repro.sdn import IsolationLevel
 from repro.securityservice import (
@@ -15,6 +16,16 @@ from repro.securityservice import (
     assess_device_type,
     seed_database,
 )
+
+
+def copy_registry(registry):
+    """A private mutable copy: ``IoTSecurityService.train`` keeps the
+    registry by reference, so enroll/retire tests must not hand it the
+    session-scoped fixture."""
+    out = DeviceTypeRegistry()
+    for label in registry.labels:
+        out.add_many(label, registry.fingerprints(label))
+    return out
 
 
 class TestVulnDB:
@@ -128,7 +139,7 @@ class TestService:
 
     def test_enroll_new_type_incrementally(self, small_registry, rng):
         service = IoTSecurityService(random_state=3)
-        service.train(small_registry)
+        service.train(copy_registry(small_registry))
         new_fps = collect_fingerprints(profile_by_name("MAXGateway"), runs=10, rng=rng)
         service.enroll_type("MAXGateway", new_fps)
         assert "MAXGateway" in service.known_types
@@ -138,6 +149,6 @@ class TestService:
 
     def test_retire_type(self, small_registry):
         service = IoTSecurityService(random_state=3)
-        service.train(small_registry)
+        service.train(copy_registry(small_registry))
         service.retire_type("Aria")
         assert "Aria" not in service.known_types

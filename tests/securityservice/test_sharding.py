@@ -1,0 +1,306 @@
+"""Sharded IoTSSP: N=1 differential identity, fan-out, outage semantics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.devices import DEVICE_PROFILES, collect_fingerprints, profile_by_name
+from repro.gateway import SecurityGateway
+from repro.packets import builder
+from repro.sdn import IsolationLevel
+from repro.securityservice import (
+    DirectTransport,
+    FingerprintReport,
+    IoTSecurityService,
+    ServiceUnavailable,
+    ShardedSecurityService,
+)
+from repro.securityservice.incidents import IncidentReport
+
+SEED = 17
+RUNS = 4
+
+
+def _mac(index: int) -> str:
+    return f"02:00:00:00:{index // 256:02x}:{index % 256:02x}"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Every device profile's corpus (the full 27-type catalogue)."""
+    from repro.core.registry import DeviceTypeRegistry
+
+    rng = np.random.default_rng(SEED)
+    registry = DeviceTypeRegistry()
+    for profile in DEVICE_PROFILES:
+        registry.add_many(
+            profile.identifier,
+            collect_fingerprints(profile, runs=RUNS, rng=rng),
+        )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def probes(corpus):
+    """One report per corpus fingerprint, each with a unique device MAC."""
+    reports = []
+    index = 0
+    for label in corpus.labels:
+        for fingerprint in corpus.fingerprints(label):
+            stamped = dataclasses.replace(fingerprint, device_mac=_mac(index))
+            reports.append(FingerprintReport(fingerprint=stamped))
+            index += 1
+    return reports
+
+
+@pytest.fixture(scope="module")
+def solo(corpus):
+    service = IoTSecurityService(random_state=SEED)
+    service.train(corpus)
+    return service
+
+
+@pytest.fixture(scope="module")
+def one_shard(corpus):
+    front = ShardedSecurityService(1, random_state=SEED)
+    front.train(corpus)
+    return front
+
+
+class TestDifferentialN1:
+    """The N=1 sharded front is indistinguishable from a bare service."""
+
+    def test_scalar_directives_identical(self, solo, one_shard, probes):
+        for report in probes:
+            assert one_shard.handle_report(report) == solo.handle_report(report)
+
+    def test_batch_directives_identical(self, solo, one_shard, probes):
+        assert one_shard.handle_reports(list(probes)) == solo.handle_reports(list(probes))
+
+    def test_reports_handled_parity(self, corpus):
+        solo = IoTSecurityService(random_state=SEED)
+        solo.train(corpus)
+        front = ShardedSecurityService(1, random_state=SEED)
+        front.train(corpus)
+        fp = corpus.fingerprints(corpus.labels[0])[0]
+        batch = [FingerprintReport(fingerprint=fp)] * 3
+        solo.handle_report(batch[0])
+        solo.handle_reports(batch)
+        front.handle_report(batch[0])
+        front.handle_reports(batch)
+        assert front.reports_handled == solo.reports_handled == 4
+        assert front.known_types == solo.known_types
+
+    def test_mutations_stay_identical(self, corpus):
+        """enroll/retire/register fan-out preserves the differential."""
+        rng = np.random.default_rng(SEED + 1)
+        fresh = collect_fingerprints(profile_by_name("Aria"), runs=RUNS, rng=rng)
+        probe = FingerprintReport(fingerprint=fresh[0])
+        pairs = []
+        for build in (
+            lambda: IoTSecurityService(random_state=SEED),
+            lambda: ShardedSecurityService(1, random_state=SEED),
+        ):
+            from repro.core.registry import DeviceTypeRegistry
+
+            registry = DeviceTypeRegistry()
+            for label in corpus.labels:
+                registry.add_many(label, corpus.fingerprints(label))
+            service = build()
+            service.train(registry)
+            service.retire_type("Aria")
+            assert "Aria" not in service.known_types
+            service.enroll_type("Aria", fresh)
+            service.register_endpoints("iKettle2", ["52.5.5.5"])
+            pairs.append(
+                (
+                    service.handle_report(probe),
+                    service.directive_for_type("iKettle2"),
+                    sorted(service.known_types),
+                )
+            )
+        assert pairs[0] == pairs[1]
+
+    def test_gateway_audit_order_identical(self, solo, one_shard):
+        """The full gateway pipeline writes the same audit trail over both."""
+        logs = []
+        for service in (solo, one_shard):
+            gateway = SecurityGateway(DirectTransport(service))
+            for index, ip in enumerate(("192.168.1.20", "192.168.1.21")):
+                mac = f"aa:00:00:00:00:{index + 1:02d}"
+                gateway.attach_device(mac)
+                t = index * 100.0
+                for frame in (
+                    builder.dhcp_discover_frame(mac, 1, "dev"),
+                    builder.arp_probe_frame(mac, ip),
+                    builder.arp_announce_frame(mac, ip),
+                    builder.dns_query_frame(
+                        mac, gateway.gateway_mac, ip, "192.168.1.1", "c.example"
+                    ),
+                    builder.https_client_hello_frame(
+                        mac, gateway.gateway_mac, ip, "52.10.0.1", "c.example"
+                    ),
+                ):
+                    gateway.process_frame(mac, frame, t)
+                    t += 0.3
+                gateway.process_frame(
+                    mac, builder.arp_announce_frame(mac, ip), t + 30.0
+                )
+            logs.append(gateway.audit.all())
+        assert logs[0] == logs[1]
+
+
+class TestShardedService:
+    @pytest.fixture(scope="class")
+    def front(self, small_registry):
+        front = ShardedSecurityService(3, random_state=11)
+        front.train(small_registry)
+        return front
+
+    def _report(self, registry, label, mac):
+        fingerprint = dataclasses.replace(
+            registry.fingerprints(label)[0], device_mac=mac
+        )
+        return FingerprintReport(fingerprint=fingerprint)
+
+    def test_replicas_agree_regardless_of_route(self, front, small_registry):
+        """The same fingerprint gets the same verdict on every shard."""
+        verdicts = set()
+        shards_hit = set()
+        for index in range(24):
+            report = self._report(small_registry, "Aria", _mac(index))
+            shards_hit.add(front.ring.route(report.fingerprint.device_mac))
+            verdicts.add(front.handle_report(report).device_type)
+        assert verdicts == {"Aria"}
+        assert len(shards_hit) > 1  # the MACs really did spread across shards
+
+    def test_routing_increments_owning_shard(self, front, small_registry):
+        report = self._report(small_registry, "Aria", "02:11:22:33:44:55")
+        owner = front.ring.route(report.fingerprint.device_mac)
+        before = front.shards[owner].reports_handled
+        front.handle_report(report)
+        assert front.shards[owner].reports_handled == before + 1
+
+    def test_batch_matches_scalar_order(self, front, small_registry):
+        reports = [
+            self._report(small_registry, label, _mac(100 + i))
+            for i, label in enumerate(small_registry.labels * 3)
+        ]
+        assert front.handle_reports(reports) == [
+            front.handle_report(report) for report in reports
+        ]
+
+    def test_kill_shard_raises_for_its_keys_only(self, front, small_registry):
+        reports = [
+            self._report(small_registry, "Aria", _mac(200 + i)) for i in range(24)
+        ]
+        victim = front.ring.route(reports[0].fingerprint.device_mac)
+        front.kill_shard(victim)
+        try:
+            for report in reports:
+                owner = front.ring.route(report.fingerprint.device_mac)
+                if owner == victim:
+                    with pytest.raises(ServiceUnavailable):
+                        front.handle_report(report)
+                else:
+                    front.handle_report(report)
+        finally:
+            front.revive_shard(victim)
+
+    def test_batch_with_dead_shard_fails_before_processing(self, front, small_registry):
+        reports = [
+            self._report(small_registry, "Aria", _mac(300 + i)) for i in range(24)
+        ]
+        victim = front.ring.route(reports[0].fingerprint.device_mac)
+        handled_before = front.reports_handled
+        front.kill_shard(victim)
+        try:
+            with pytest.raises(ServiceUnavailable):
+                front.handle_reports(reports)
+        finally:
+            front.revive_shard(victim)
+        assert front.reports_handled == handled_before  # all-or-nothing
+
+    def test_directive_lookup_falls_back_when_home_shard_down(self, front):
+        expected = front.directive_for_type("Aria")
+        home = front.ring.route("Aria")
+        front.kill_shard(home)
+        try:
+            assert front.directive_for_type("Aria") == expected
+        finally:
+            front.revive_shard(home)
+
+    def test_directive_lookup_all_down(self, front):
+        for shard_id in front.shard_ids():
+            front.kill_shard(shard_id)
+        try:
+            with pytest.raises(ServiceUnavailable):
+                front.directive_for_type("Aria")
+        finally:
+            for shard_id in front.shard_ids():
+                front.revive_shard(shard_id)
+
+    def test_add_and_remove_shard_keep_serving(self, small_registry):
+        front = ShardedSecurityService(2, random_state=11)
+        front.train(small_registry)
+        reports = [
+            self._report(small_registry, "Aria", _mac(400 + i)) for i in range(12)
+        ]
+        baseline = [d.device_type for d in front.handle_reports(reports)]
+        new_id = front.add_shard()
+        assert front.num_shards == 3 and new_id in front.ring
+        assert [d.device_type for d in front.handle_reports(reports)] == baseline
+        front.remove_shard(new_id)
+        assert front.num_shards == 2 and new_id not in front.ring
+        assert [d.device_type for d in front.handle_reports(reports)] == baseline
+
+    def test_incidents_route_and_confirm_fleet_wide(self, front):
+        """Threshold reports for one type confirm once; every replica sees it."""
+        before = front.directive_for_type("Aria")
+        assert before.level is IsolationLevel.TRUSTED
+        record = None
+        for _ in range(3):
+            record = front.report_incident(
+                IncidentReport(device_type="Aria", incident_class="malware-traffic")
+            ) or record
+        assert record is not None and record.device_type == "Aria"
+        for shard in front.shards.values():
+            assert shard.directive_for_type("Aria").level is IsolationLevel.RESTRICTED
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardedSecurityService(0)
+
+    def test_membership_validation(self, front):
+        with pytest.raises(ValueError):
+            front.kill_shard("shard-nope")
+        with pytest.raises(ValueError):
+            front.revive_shard("shard-nope")
+        with pytest.raises(ValueError):
+            front.remove_shard("shard-nope")
+
+    def test_cannot_remove_last_shard(self, small_registry):
+        front = ShardedSecurityService(1, random_state=11)
+        front.train(small_registry)
+        with pytest.raises(ValueError):
+            front.remove_shard(front.shard_ids()[0])
+
+    def test_warm_start_hits_n_minus_one(self, small_registry, tmp_path):
+        from repro.core import ModelStore
+
+        front = ShardedSecurityService(4, store=ModelStore(tmp_path), random_state=11)
+        front.train(small_registry)
+        assert front.cache_hits == 3
+        report = self._report(small_registry, "Aria", "02:aa:bb:cc:dd:ee")
+        assert front.handle_report(report).device_type == "Aria"
+
+    def test_endpoints_seed_late_joining_shard(self, small_registry):
+        front = ShardedSecurityService(2, random_state=11)
+        front.train(small_registry)
+        front.register_endpoints("TP-LinkPlugHS110", ["52.2.2.2"])
+        new_id = front.add_shard()
+        directive = front.shards[new_id].directive_for_type("TP-LinkPlugHS110")
+        assert directive.permitted_endpoints == frozenset({"52.2.2.2"})
